@@ -1,0 +1,229 @@
+// Command tendax-analyze runs the TeNDaX metadata plug-ins (dynamic
+// folders, data lineage, visual & text mining, ranked search) against a
+// TeNDaX data directory, offline — the analytics half of the paper's demo.
+//
+// Usage:
+//
+//	tendax-analyze -data /var/lib/tendax <command> [args]
+//
+// Commands:
+//
+//	docs                         list documents with metadata
+//	lineage [-dot out.dot]       provenance graph (Figure 1)
+//	sources <docName>            direct + transitive sources of a document
+//	mining                       document-space scatter (Figure 2)
+//	terms <docName>              characteristic terms (TF-IDF)
+//	similar <docName>            most similar documents
+//	search <term> [ranker]       ranked search (relevance|newest|most-cited|most-read)
+//	folder <expr>                evaluate a dynamic-folder predicate, e.g.
+//	                             '(and (author "alice") (modified-within "168h"))'
+//	outline <docName>            heading structure of a document
+//	markup <docName>             text with inline layout markers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/folders"
+	"tendax/internal/lineage"
+	"tendax/internal/mining"
+	"tendax/internal/search"
+)
+
+func main() {
+	data := flag.String("data", "", "TeNDaX data directory (required)")
+	dot := flag.String("dot", "", "write lineage DOT to this file")
+	flag.Parse()
+	args := flag.Args()
+	if *data == "" || len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	database, err := db.Open(db.Options{Dir: *data})
+	if err != nil {
+		log.Fatalf("tendax-analyze: %v", err)
+	}
+	defer database.Close()
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		log.Fatalf("tendax-analyze: %v", err)
+	}
+	if err := run(eng, args, *dot); err != nil {
+		log.Fatalf("tendax-analyze: %v", err)
+	}
+}
+
+func run(eng *core.Engine, args []string, dotPath string) error {
+	switch cmd := args[0]; cmd {
+	case "docs":
+		infos, err := eng.ListDocuments()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-24s %-10s %8s %-8s %s\n", "ID", "NAME", "CREATOR", "SIZE", "STATE", "AUTHORS")
+		for _, in := range infos {
+			fmt.Printf("%-8s %-24s %-10s %8d %-8s %v\n",
+				in.ID, in.Name, in.Creator, in.Size, in.State, in.Authors)
+		}
+		return nil
+	case "lineage":
+		g, err := lineage.Build(eng)
+		if err != nil {
+			return err
+		}
+		fmt.Print(g.Render())
+		fmt.Printf("%d documents, %d paste edges\n", len(g.Nodes), len(g.Edges))
+		if err := g.CheckAcyclic(); err != nil {
+			return err
+		}
+		if dotPath != "" {
+			if err := os.WriteFile(dotPath, []byte(g.DOT()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("DOT written to %s\n", dotPath)
+		}
+		return nil
+	case "sources":
+		doc, err := docByName(eng, args)
+		if err != nil {
+			return err
+		}
+		g, err := lineage.Build(eng)
+		if err != nil {
+			return err
+		}
+		for _, e := range g.Sources(doc.ID()) {
+			name := "?"
+			if n := g.Nodes[e.From]; n != nil {
+				name = n.Name
+				if n.External {
+					name = "[ext] " + name
+				}
+			}
+			fmt.Printf("%-32s %6d chars\n", name, e.Chars)
+		}
+		fmt.Printf("transitive ancestry: %d documents\n", len(g.TransitiveSources(doc.ID())))
+		return nil
+	case "mining":
+		g, err := lineage.Build(eng)
+		if err != nil {
+			return err
+		}
+		feats, err := mining.Extract(eng, g, eng.Clock().Now())
+		if err != nil {
+			return err
+		}
+		pts := mining.Layout(feats)
+		fmt.Print(mining.Scatter(pts, 72, 18))
+		return nil
+	case "terms":
+		doc, err := docByName(eng, args)
+		if err != nil {
+			return err
+		}
+		corpus, err := mining.BuildCorpus(eng)
+		if err != nil {
+			return err
+		}
+		for _, wt := range corpus.TopTerms(doc.ID(), 10) {
+			fmt.Printf("%-20s %.4f\n", wt.Term, wt.Weight)
+		}
+		return nil
+	case "similar":
+		doc, err := docByName(eng, args)
+		if err != nil {
+			return err
+		}
+		corpus, err := mining.BuildCorpus(eng)
+		if err != nil {
+			return err
+		}
+		for _, s := range corpus.MostSimilar(doc.ID(), 5) {
+			fmt.Printf("%-24s %.4f\n", s.Name, s.Score)
+		}
+		return nil
+	case "search":
+		if len(args) < 2 {
+			return fmt.Errorf("search needs a term")
+		}
+		ranker := search.ByRelevance
+		if len(args) > 2 {
+			ranker = search.Ranker(args[2])
+		}
+		ix, err := search.BuildIndex(eng)
+		if err != nil {
+			return err
+		}
+		results, err := ix.Search(search.Query{Terms: []string{args[1]}, Rank: ranker, Limit: 10})
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Printf("%-24s %8.3f  %s\n", r.Doc.Name, r.Score, r.Snippet)
+		}
+		fmt.Printf("%d hits (%s ranking)\n", len(results), ranker)
+		return nil
+	case "folder":
+		if len(args) < 2 {
+			return fmt.Errorf("folder needs a predicate expression")
+		}
+		pred, err := folders.Parse(args[1])
+		if err != nil {
+			return err
+		}
+		store, err := folders.NewStore(eng)
+		if err != nil {
+			return err
+		}
+		docs, err := store.EvalPredicate(pred)
+		if err != nil {
+			return err
+		}
+		for _, in := range docs {
+			fmt.Printf("%-8s %-24s %8d chars\n", in.ID, in.Name, in.Size)
+		}
+		fmt.Printf("%d documents match %s\n", len(docs), pred.Expr())
+		return nil
+	case "outline":
+		doc, err := docByName(eng, args)
+		if err != nil {
+			return err
+		}
+		outline, err := doc.Outline()
+		if err != nil {
+			return err
+		}
+		for _, o := range outline {
+			for i := 1; i < o.Level; i++ {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%s (pos %d)\n", o.Text, o.Pos)
+		}
+		return nil
+	case "markup":
+		doc, err := docByName(eng, args)
+		if err != nil {
+			return err
+		}
+		m, err := doc.RenderMarkup()
+		if err != nil {
+			return err
+		}
+		fmt.Println(m)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func docByName(eng *core.Engine, args []string) (*core.Document, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("%s needs a document name", args[0])
+	}
+	return eng.FindDocument(args[1])
+}

@@ -1,0 +1,733 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"tendax/internal/client"
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/folders"
+	"tendax/internal/lineage"
+	"tendax/internal/mining"
+	"tendax/internal/search"
+	"tendax/internal/security"
+	"tendax/internal/server"
+	"tendax/internal/storage"
+	"tendax/internal/util"
+	"tendax/internal/wal"
+	"tendax/internal/workflow"
+	"tendax/internal/workload"
+)
+
+func memEngine() (*core.Engine, *db.Database, error) {
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		database.Close()
+		return nil, nil, err
+	}
+	return eng, database, nil
+}
+
+// E1: N concurrent editors over real TCP appending to one document.
+// Reported: committed ops/s and end-to-end propagation latency (writer
+// commit to observer replica).
+func runE1(quick bool, _ string) error {
+	editorCounts := []int{1, 2, 4, 8, 16}
+	opsPer := 60
+	if quick {
+		editorCounts = []int{1, 2, 4}
+		opsPer = 15
+	}
+	fmt.Printf("%-8s %12s %14s %14s\n", "editors", "ops/s", "commit p50", "propagate p95")
+	for _, n := range editorCounts {
+		eng, database, err := memEngine()
+		if err != nil {
+			return err
+		}
+		srv := server.New(eng, nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve()
+
+		host, err := client.Dial(addr.String())
+		if err != nil {
+			return err
+		}
+		host.Login("host", "")
+		docID, err := host.CreateDocument("e1")
+		if err != nil {
+			return err
+		}
+		observer, err := host.Open(docID)
+		if err != nil {
+			return err
+		}
+
+		var commit workload.LatencyRecorder
+		var cmu sync.Mutex
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := client.Dial(addr.String())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer c.Close()
+				c.Login(fmt.Sprintf("player%d", i), "")
+				d, err := c.Open(docID)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := 0; j < opsPer; j++ {
+					t0 := time.Now()
+					if err := d.Append(fmt.Sprintf("[%d:%d]", i, j)); err != nil {
+						errCh <- err
+						return
+					}
+					cmu.Lock()
+					commit.Record(time.Since(t0))
+					cmu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		elapsed := time.Since(start)
+		totalOps := n * opsPer
+
+		// Propagation probe: a fresh writer appends once and we measure
+		// how long until the observer's replica sequence advances. The
+		// writer joins first so its join event is behind us.
+		writer, err := client.Dial(addr.String())
+		if err != nil {
+			return err
+		}
+		writer.Login("probe", "")
+		wd, err := writer.Open(docID)
+		if err != nil {
+			return err
+		}
+		if err := observer.Resync(); err != nil {
+			return err
+		}
+		baseSeq := observer.Seq()
+		t0 := time.Now()
+		if err := wd.Append("~probe~"); err != nil {
+			return err
+		}
+		prop := time.Duration(-1)
+		for i := 0; i < 10000; i++ {
+			if observer.Seq() > baseSeq {
+				prop = time.Since(t0)
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		writer.Close()
+
+		fmt.Printf("%-8d %12.0f %14v %14v\n",
+			n, float64(totalOps)/elapsed.Seconds(), commit.Percentile(50), prop)
+		host.Close()
+		srv.Close()
+		database.Close()
+	}
+	fmt.Println("shape check: throughput grows then saturates with editors; propagation stays in the ms range.")
+	return nil
+}
+
+// E2: single-character insert/delete transaction latency vs document size.
+func runE2(quick bool, _ string) error {
+	sizes := []int{1_000, 10_000, 100_000}
+	samples := 400
+	if quick {
+		sizes = []int{1_000, 10_000}
+		samples = 100
+	}
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "doc size", "ins mean", "ins p99", "del mean", "del p99")
+	for _, size := range sizes {
+		eng, database, err := memEngine()
+		if err != nil {
+			return err
+		}
+		doc, err := eng.CreateDocument("typist", "e2")
+		if err != nil {
+			return err
+		}
+		rng := util.NewRand(7)
+		for doc.Len() < size {
+			chunk := size - doc.Len()
+			if chunk > 512 {
+				chunk = 512
+			}
+			if _, err := doc.AppendText("typist", rng.Letters(chunk)); err != nil {
+				return err
+			}
+		}
+		var ins, del workload.LatencyRecorder
+		for i := 0; i < samples; i++ {
+			pos := rng.Intn(doc.Len())
+			t0 := time.Now()
+			if _, err := doc.InsertText("typist", pos, "x"); err != nil {
+				return err
+			}
+			ins.Record(time.Since(t0))
+		}
+		for i := 0; i < samples; i++ {
+			pos := rng.Intn(doc.Len() - 1)
+			t0 := time.Now()
+			if _, err := doc.DeleteRange("typist", pos, 1); err != nil {
+				return err
+			}
+			del.Record(time.Since(t0))
+		}
+		fmt.Printf("%-10d %12v %12v %12v %12v\n",
+			size, ins.Mean(), ins.Percentile(99), del.Mean(), del.Percentile(99))
+		database.Close()
+	}
+	fmt.Println("shape check: latency is near-flat in document size (O(log n) position index).")
+	return nil
+}
+
+// E3: undo/redo latency, local and global, at increasing history depth.
+func runE3(quick bool, _ string) error {
+	depths := []int{50, 200, 1000}
+	if quick {
+		depths = []int{50, 200}
+	}
+	fmt.Printf("%-10s %12s %12s %14s\n", "history", "undo mean", "redo mean", "global undo")
+	for _, depth := range depths {
+		eng, database, err := memEngine()
+		if err != nil {
+			return err
+		}
+		doc, err := eng.CreateDocument("alice", "e3")
+		if err != nil {
+			return err
+		}
+		rng := util.NewRand(3)
+		users := []string{"alice", "bob"}
+		for i := 0; i < depth; i++ {
+			user := users[i%2]
+			if _, err := doc.AppendText(user, rng.Letters(6)); err != nil {
+				return err
+			}
+		}
+		steps := 30
+		if steps > depth/2 {
+			steps = depth / 2
+		}
+		var undo, redo, global workload.LatencyRecorder
+		for i := 0; i < steps; i++ {
+			t0 := time.Now()
+			if _, err := doc.UndoLocal("alice"); err != nil {
+				return err
+			}
+			undo.Record(time.Since(t0))
+		}
+		for i := 0; i < steps; i++ {
+			t0 := time.Now()
+			if _, err := doc.RedoLocal("alice"); err != nil {
+				return err
+			}
+			redo.Record(time.Since(t0))
+		}
+		for i := 0; i < steps; i++ {
+			t0 := time.Now()
+			if _, err := doc.UndoGlobal("bob"); err != nil {
+				return err
+			}
+			global.Record(time.Since(t0))
+		}
+		fmt.Printf("%-10d %12v %12v %14v\n", depth, undo.Mean(), redo.Mean(), global.Mean())
+		database.Close()
+	}
+	fmt.Println("shape check: undo cost tracks history length only mildly; selective undo works at depth.")
+	return nil
+}
+
+// E4: workflow task lifecycle throughput with dynamic re-routing.
+func runE4(quick bool, _ string) error {
+	cycles := 150
+	if quick {
+		cycles = 40
+	}
+	eng, database, err := memEngine()
+	if err != nil {
+		return err
+	}
+	defer database.Close()
+	sec, err := security.NewStore(eng)
+	if err != nil {
+		return err
+	}
+	wf, err := workflow.NewStore(eng, sec)
+	if err != nil {
+		return err
+	}
+	sec.CreateUser("coord", "pw")
+	sec.CreateUser("tina", "pw", "translator")
+	sec.CreateUser("vera", "pw", "verifier")
+	doc, err := eng.CreateDocument("coord", "e4")
+	if err != nil {
+		return err
+	}
+	doc.AppendText("coord", "contract body")
+
+	var define, task, route, complete workload.LatencyRecorder
+	t0all := time.Now()
+	for i := 0; i < cycles; i++ {
+		t0 := time.Now()
+		p, err := wf.Define("coord", doc.ID(), fmt.Sprintf("proc-%d", i))
+		if err != nil {
+			return err
+		}
+		define.Record(time.Since(t0))
+
+		t0 = time.Now()
+		t1, err := wf.AddTask("coord", p.ID, "translate", "", "role:translator", util.NilID, util.NilID)
+		if err != nil {
+			return err
+		}
+		t2, err := wf.AddTask("coord", p.ID, "approve", "", "user:coord", util.NilID, util.NilID)
+		if err != nil {
+			return err
+		}
+		task.Record(time.Since(t0))
+
+		t0 = time.Now()
+		mid, err := wf.InsertTaskAfter("coord", p.ID, t1.ID, "verify", "", "role:verifier")
+		if err != nil {
+			return err
+		}
+		if err := wf.Reroute("coord", mid.ID, "user:vera"); err != nil {
+			return err
+		}
+		route.Record(time.Since(t0))
+
+		t0 = time.Now()
+		for _, step := range []struct {
+			user string
+			id   util.ID
+		}{{"tina", t1.ID}, {"vera", mid.ID}, {"coord", t2.ID}} {
+			if err := wf.Accept(step.user, step.id); err != nil {
+				return err
+			}
+			if err := wf.Complete(step.user, step.id, "ok"); err != nil {
+				return err
+			}
+		}
+		complete.Record(time.Since(t0))
+	}
+	elapsed := time.Since(t0all)
+	fmt.Printf("%-22s %12s\n", "phase", "mean")
+	fmt.Printf("%-22s %12v\n", "define process", define.Mean())
+	fmt.Printf("%-22s %12v\n", "add 2 tasks", task.Mean())
+	fmt.Printf("%-22s %12v\n", "dynamic insert+route", route.Mean())
+	fmt.Printf("%-22s %12v\n", "run 3-task chain", complete.Mean())
+	fmt.Printf("%d full processes in %v (%.0f processes/s)\n",
+		cycles, elapsed.Round(time.Millisecond), float64(cycles)/elapsed.Seconds())
+	fmt.Println("shape check: every phase is interactive (well under the demo's human timescales).")
+	return nil
+}
+
+// E5: dynamic folder evaluation latency vs corpus size, plus freshness.
+func runE5(quick bool, _ string) error {
+	sizes := []int{100, 500, 2000}
+	if quick {
+		sizes = []int{50, 200}
+	}
+	fmt.Printf("%-10s %12s %12s %10s\n", "docs", "eval time", "freshness", "matches")
+	for _, n := range sizes {
+		eng, database, err := memEngine()
+		if err != nil {
+			return err
+		}
+		if _, err := workload.BuildCorpus(eng, workload.CorpusSpec{
+			Docs: n, Users: 8, MeanSize: 120, ReadRatio: 0.5, StateSplit: 0.3, Seed: 11,
+		}); err != nil {
+			return err
+		}
+		fstore, err := folders.NewStore(eng)
+		if err != nil {
+			return err
+		}
+		folder, err := fstore.CreateDynamic("user0", "recent reads", folders.And{
+			folders.ReadBy{User: "user0", Within: 7 * 24 * time.Hour},
+			folders.StateIs{State: "draft"},
+		})
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		docs, err := fstore.Eval(folder)
+		if err != nil {
+			return err
+		}
+		evalTime := time.Since(t0)
+
+		// Freshness: a brand-new read appears on the next evaluation.
+		d, err := eng.CreateDocument("user0", "freshdoc")
+		if err != nil {
+			return err
+		}
+		d.AppendText("user0", "fresh content")
+		before := len(docs)
+		_, after, fresh, err := fstore.Freshness(folder, func() error {
+			_, err := d.RecordRead("user0")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if len(after) != before+1 {
+			return fmt.Errorf("freshness violated: %d -> %d", before, len(after))
+		}
+		fmt.Printf("%-10d %12v %12v %10d\n", n, evalTime, fresh, len(docs))
+		database.Close()
+	}
+	fmt.Println("shape check: evaluation is linear in corpus size and sub-second at demo scale;")
+	fmt.Println("             a committed change is visible on the very next evaluation.")
+	return nil
+}
+
+// E6: data lineage (Figure 1) — build the provenance graph of a synthetic
+// copy-paste tree, verify it matches the generated edges exactly, write DOT.
+func runE6(quick bool, out string) error {
+	depth, fanout := 4, 3
+	if quick {
+		depth, fanout = 3, 2
+	}
+	eng, database, err := memEngine()
+	if err != nil {
+		return err
+	}
+	defer database.Close()
+	docs, wantEdges, err := workload.BuildPasteChains(eng, workload.PasteChainSpec{
+		Depth: depth, FanOut: fanout, ChunkLen: 32, Externals: 3, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	g, err := lineage.Build(eng)
+	if err != nil {
+		return err
+	}
+	build := time.Since(t0)
+	if len(g.Edges) != wantEdges {
+		return fmt.Errorf("edge count %d != generated %d", len(g.Edges), wantEdges)
+	}
+	if err := g.CheckAcyclic(); err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12s\n", "metric", "value")
+	fmt.Printf("%-22s %12d\n", "documents", len(docs))
+	fmt.Printf("%-22s %12d\n", "external sources", 3)
+	fmt.Printf("%-22s %12d\n", "paste edges", len(g.Edges))
+	fmt.Printf("%-22s %12d\n", "root citations", g.CitationCount(docs[0].ID()))
+	fmt.Printf("%-22s %12v\n", "graph build time", build)
+	leaf := docs[len(docs)-1]
+	fmt.Printf("%-22s %12d\n", "leaf ancestry depth", len(g.TransitiveSources(leaf.ID())))
+	if out != "" {
+		if err := os.WriteFile(out, []byte(g.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Figure 1 graph written to %s (%d bytes of DOT)\n", out, len(g.DOT()))
+	}
+	fmt.Println("shape check: edges equal generated paste events exactly; graph is time-acyclic.")
+	return nil
+}
+
+// E7: visual mining (Figure 2) — feature extraction + 2-D embedding of the
+// document space, with layout-quality and latency measurements.
+func runE7(quick bool, _ string) error {
+	sizes := []int{100, 500}
+	if quick {
+		sizes = []int{60}
+	}
+	fmt.Printf("%-10s %14s %14s %12s\n", "docs", "extract time", "layout time", "nbr-preserve")
+	var lastPts []mining.Point
+	for _, n := range sizes {
+		eng, database, err := memEngine()
+		if err != nil {
+			return err
+		}
+		if _, err := workload.BuildCorpus(eng, workload.CorpusSpec{
+			Docs: n, Users: 10, MeanSize: 200, ReadRatio: 0.6, StateSplit: 0.4,
+			Clusters: 4, Seed: 21,
+		}); err != nil {
+			return err
+		}
+		g, err := lineage.Build(eng)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		feats, err := mining.Extract(eng, g, eng.Clock().Now())
+		if err != nil {
+			return err
+		}
+		extract := time.Since(t0)
+		t0 = time.Now()
+		pts := mining.Layout(feats)
+		layout := time.Since(t0)
+		pres := mining.NeighbourPreservation(feats, pts, 5)
+		fmt.Printf("%-10d %14v %14v %12.2f\n", n, extract, layout, pres)
+		lastPts = pts
+		database.Close()
+	}
+	fmt.Println("\nFigure 2 — the document space (PCA over metadata dimensions):")
+	fmt.Print(mining.Scatter(lastPts, 64, 14))
+	fmt.Println("shape check: metadata-similar documents cluster; preservation well above chance.")
+	return nil
+}
+
+// E8: search latency and ranking options vs corpus size.
+func runE8(quick bool, _ string) error {
+	sizes := []int{100, 1000}
+	if quick {
+		sizes = []int{50, 200}
+	}
+	fmt.Printf("%-8s %12s %12s %12s %12s %12s\n",
+		"docs", "index time", "relevance", "newest", "most-cited", "most-read")
+	for _, n := range sizes {
+		eng, database, err := memEngine()
+		if err != nil {
+			return err
+		}
+		docs, err := workload.BuildCorpus(eng, workload.CorpusSpec{
+			Docs: n, Users: 8, MeanSize: 150, ReadRatio: 0.5, Seed: 31,
+		})
+		if err != nil {
+			return err
+		}
+		// Some citations so most-cited has signal.
+		for i := 0; i < len(docs)/10; i++ {
+			src := docs[i]
+			dst := docs[len(docs)-1-i]
+			sz := src.Len()
+			if sz > 8 {
+				sz = 8
+			}
+			if sz > 0 {
+				clip, err := src.Copy("user0", 0, sz)
+				if err != nil {
+					return err
+				}
+				if _, err := dst.Paste("user0", 0, clip); err != nil {
+					return err
+				}
+			}
+		}
+		t0 := time.Now()
+		ix, err := search.BuildIndex(eng)
+		if err != nil {
+			return err
+		}
+		indexTime := time.Since(t0)
+
+		lat := func(r search.Ranker) (time.Duration, error) {
+			var rec workload.LatencyRecorder
+			for i := 0; i < 20; i++ {
+				t0 := time.Now()
+				if _, err := ix.Search(search.Query{Terms: []string{"a"}, Rank: r, Limit: 10}); err != nil {
+					return 0, err
+				}
+				rec.Record(time.Since(t0))
+			}
+			return rec.Mean(), nil
+		}
+		rel, err := lat(search.ByRelevance)
+		if err != nil {
+			return err
+		}
+		newest, err := lat(search.ByNewest)
+		if err != nil {
+			return err
+		}
+		cited, err := lat(search.ByMostCited)
+		if err != nil {
+			return err
+		}
+		read, err := lat(search.ByMostRead)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %12v %12v %12v %12v %12v\n", n, indexTime, rel, newest, cited, read)
+		database.Close()
+	}
+	fmt.Println("shape check: queries stay interactive as the corpus grows; all rankers comparable.")
+	return nil
+}
+
+// E9: crash recovery. Two crash images are recovered: (a) an intact log —
+// every acknowledged edit must survive — and (b) a log whose tail was torn
+// mid-record, simulating a final commit that never fully reached disk —
+// exactly that transaction must roll back and everything earlier survive.
+func runE9(quick bool, _ string) error {
+	opsCounts := []int{200, 1000}
+	if quick {
+		opsCounts = []int{100}
+	}
+	fmt.Printf("%-8s %14s %10s %10s %12s %12s\n",
+		"ops", "recover time", "analyzed", "redone", "intact loss", "torn loss")
+	for _, ops := range opsCounts {
+		disk := storage.NewMemDisk()
+		store := wal.NewMemStore()
+		database, err := db.OpenWith(disk, store, db.Options{})
+		if err != nil {
+			return err
+		}
+		eng, err := core.NewEngine(database, nil)
+		if err != nil {
+			return err
+		}
+		doc, err := eng.CreateDocument("storm", "e9")
+		if err != nil {
+			return err
+		}
+		rng := util.NewRand(17)
+		for i := 0; i < ops-1; i++ {
+			if _, err := doc.AppendText("storm", rng.Letters(4)); err != nil {
+				return err
+			}
+		}
+		prefix := doc.Text() // state acknowledged before the final edit
+		if _, err := doc.AppendText("storm", rng.Letters(4)); err != nil {
+			return err
+		}
+		full := doc.Text()
+		docID := doc.ID()
+		database.Pool().FlushAll()
+		logBytes, err := store.ReadAll()
+		if err != nil {
+			return err
+		}
+
+		reopen := func(tear bool) (*core.Document, *db.Database, time.Duration, error) {
+			crashDisk := storage.NewMemDisk() // pages lost entirely: redo rebuilds them
+			crashStore := wal.NewMemStore()
+			crashStore.Append(logBytes)
+			if tear {
+				crashStore.Truncate(crashStore.Len() - 3)
+			}
+			t0 := time.Now()
+			db2, err := db.OpenWith(crashDisk, crashStore, db.Options{})
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			dt := time.Since(t0)
+			eng2, err := core.NewEngine(db2, nil)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			d2, err := eng2.OpenDocument(docID)
+			return d2, db2, dt, err
+		}
+
+		intactDoc, intactDB, recoverTime, err := reopen(false)
+		if err != nil {
+			return err
+		}
+		intactLoss := len([]rune(full)) - len([]rune(intactDoc.Text()))
+		if intactLoss != 0 {
+			return fmt.Errorf("durability violated: %d committed chars lost from intact log", intactLoss)
+		}
+		tornDoc, _, _, err := reopen(true)
+		if err != nil {
+			return err
+		}
+		tornLoss := len([]rune(prefix)) - len([]rune(tornDoc.Text()))
+		if tornLoss != 0 {
+			return fmt.Errorf("torn-tail recovery wrong: prefix differs by %d chars", tornLoss)
+		}
+		fmt.Printf("%-8d %14v %10d %10d %12d %12d\n",
+			ops, recoverTime, intactDB.Recovery.Analyzed, intactDB.Recovery.Redone,
+			intactLoss, tornLoss)
+	}
+	fmt.Println("shape check: intact log loses nothing; a torn final commit rolls back exactly itself.")
+	return nil
+}
+
+// E10: ablation — paste with full provenance capture vs plain insert of the
+// same text. Quantifies the cost of the metadata gathering the paper relies
+// on.
+func runE10(quick bool, _ string) error {
+	pastes := 400
+	if quick {
+		pastes = 100
+	}
+	chunk := 64
+
+	eng, database, err := memEngine()
+	if err != nil {
+		return err
+	}
+	defer database.Close()
+	src, err := eng.CreateDocument("alice", "e10-src")
+	if err != nil {
+		return err
+	}
+	rng := util.NewRand(5)
+	src.AppendText("alice", rng.Letters(chunk*2))
+
+	withDoc, err := eng.CreateDocument("alice", "e10-with")
+	if err != nil {
+		return err
+	}
+	clip, err := src.Copy("alice", 0, chunk)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	for i := 0; i < pastes; i++ {
+		if _, err := withDoc.Paste("alice", withDoc.Len(), clip); err != nil {
+			return err
+		}
+	}
+	withProv := time.Since(t0)
+
+	withoutDoc, err := eng.CreateDocument("alice", "e10-without")
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	for i := 0; i < pastes; i++ {
+		if _, err := withoutDoc.InsertText("alice", withoutDoc.Len(), clip.Text); err != nil {
+			return err
+		}
+	}
+	withoutProv := time.Since(t0)
+
+	ratio := float64(withProv) / float64(withoutProv)
+	fmt.Printf("%-28s %12s %14s\n", "variant", "total", "per paste")
+	fmt.Printf("%-28s %12v %14v\n", "paste with provenance", withProv,
+		withProv/time.Duration(pastes))
+	fmt.Printf("%-28s %12v %14v\n", "plain insert (no lineage)", withoutProv,
+		withoutProv/time.Duration(pastes))
+	fmt.Printf("overhead factor: %.2fx\n", ratio)
+	if ratio > 2.0 {
+		fmt.Println("WARNING: provenance overhead exceeds the expected <2x envelope")
+	} else {
+		fmt.Println("shape check: lineage capture costs a small constant factor (<2x), as claimed affordable.")
+	}
+	return nil
+}

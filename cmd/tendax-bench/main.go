@@ -1,0 +1,56 @@
+// Command tendax-bench runs the TeNDaX reproduction experiments E1–E10
+// (see DESIGN.md §7 and EXPERIMENTS.md) and prints one table per
+// experiment. E6 additionally writes lineage.dot (Figure 1) and E7 prints
+// the document-space scatter (Figure 2).
+//
+// Usage:
+//
+//	tendax-bench [-exp all|e1|e2|...|e10] [-quick] [-out lineage.dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (e1..e10 or all)")
+	quick := flag.Bool("quick", false, "smaller parameters for a fast smoke run")
+	out := flag.String("out", "lineage.dot", "output path for the E6 lineage DOT file")
+	flag.Parse()
+
+	runs := []struct {
+		id   string
+		name string
+		fn   func(quick bool, out string) error
+	}{
+		{"e1", "Collaborative editing over TCP (LAN party, §3)", runE1},
+		{"e2", "Real-time edit transaction latency (§2)", runE2},
+		{"e3", "Local and global undo/redo (§3)", runE3},
+		{"e4", "Business process definition and flow (§3)", runE4},
+		{"e5", "Dynamic folders (§3)", runE5},
+		{"e6", "Data lineage — Figure 1", runE6},
+		{"e7", "Visual mining — Figure 2", runE7},
+		{"e8", "Search with ranking options (§3)", runE8},
+		{"e9", "Crash recovery and durability (§2)", runE9},
+		{"e10", "Provenance-capture overhead ablation", runE10},
+	}
+	ran := 0
+	for _, r := range runs {
+		if *exp != "all" && !strings.EqualFold(*exp, r.id) {
+			continue
+		}
+		fmt.Printf("\n=== %s: %s ===\n", strings.ToUpper(r.id), r.name)
+		if err := r.fn(*quick, *out); err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,85 @@
+// Command tendaxd is the TeNDaX server daemon: it hosts one TeNDaX
+// database and serves editor connections over TCP.
+//
+// Usage:
+//
+//	tendaxd -addr :7468 -data /var/lib/tendax [-auth]
+//
+// With -auth, clients must present credentials of users created via the
+// security tables; without it any user name is accepted (the trusted
+// LAN-party demo configuration). An empty -data runs fully in memory.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/security"
+	"tendax/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7468", "listen address")
+	data := flag.String("data", "", "data directory (empty = in-memory)")
+	auth := flag.Bool("auth", false, "require authentication")
+	seedUser := flag.String("seed-user", "", "create an initial user (name:password)")
+	flag.Parse()
+
+	database, err := db.Open(db.Options{Dir: *data})
+	if err != nil {
+		log.Fatalf("tendaxd: open database: %v", err)
+	}
+	defer database.Close()
+
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		log.Fatalf("tendaxd: engine: %v", err)
+	}
+	var sec *security.Store
+	if *auth {
+		sec, err = security.NewStore(eng)
+		if err != nil {
+			log.Fatalf("tendaxd: security: %v", err)
+		}
+		eng.SetAccessChecker(sec)
+		if *seedUser != "" {
+			name, pw := splitColon(*seedUser)
+			if err := sec.CreateUser(name, pw); err != nil {
+				log.Printf("tendaxd: seed user: %v", err)
+			}
+		}
+	}
+
+	srv := server.New(eng, sec)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("tendaxd: listen: %v", err)
+	}
+	log.Printf("tendaxd: serving on %s (data=%q auth=%v, recovery: %d winners, %d losers)",
+		bound, *data, *auth, database.Recovery.Winners, database.Recovery.Losers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("tendaxd: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("tendaxd: serve: %v", err)
+	}
+}
+
+func splitColon(s string) (string, string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}

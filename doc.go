@@ -1,0 +1,21 @@
+// Package tendax is a from-scratch reproduction of "TeNDaX, a Collaborative
+// Database-Based Real-Time Editor System" (Leone, Hodel-Widmer, Boehlen,
+// Dittrich — EDBT 2006): text stored natively in an embedded transactional
+// database, with collaborative real-time editing, local/global undo,
+// in-document business processes, dynamic folders, data lineage, visual and
+// text mining, search, and fine-grained security.
+//
+// The public surface lives in the internal packages (this module is a
+// self-contained reproduction, not a published library):
+//
+//   - internal/core — the TeNDaX engine (documents, editing transactions)
+//   - internal/db, storage, wal, txn, btree — the embedded database
+//   - internal/server, client, editor, protocol — the collaborative layer
+//   - internal/security, workflow, folders, lineage, mining, search — the
+//     subsystems demonstrated in the paper
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every figure and demonstrated capability. bench_test.go
+// in this directory holds one benchmark per experiment; cmd/tendax-bench
+// prints the corresponding tables.
+package tendax

@@ -1,0 +1,126 @@
+// Workflow: the paper's "business process definitions and flow" demo —
+// an ad-hoc translate-and-verify process defined inside a document, with
+// tasks assigned to roles, accepted and completed by users, and re-routed
+// dynamically at run time.
+//
+// Run with: go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/security"
+	"tendax/internal/util"
+	"tendax/internal/workflow"
+)
+
+func main() {
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer database.Close()
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sec, err := security.NewStore(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.SetAccessChecker(sec)
+	wf, err := workflow.NewStore(eng, sec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Users and roles.
+	for _, u := range []struct{ name, role string }{
+		{"carla", ""}, {"tina", "translator"}, {"tom", "translator"}, {"vera", "verifier"},
+	} {
+		roles := []string{}
+		if u.role != "" {
+			roles = append(roles, u.role)
+		}
+		if err := sec.CreateUser(u.name, "pw", roles...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The contract document.
+	doc, err := eng.CreateDocument("carla", "contract-2006")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := doc.InsertText("carla", 0,
+		"§1 The parties agree to collaborate.\n§2 Deliverables are due quarterly.\n"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Define a process with a task anchored to §1.
+	proc, err := wf.Define("carla", doc.ID(), "translate-and-verify")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metas, err := doc.RangeMeta(0, 36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	translate, err := wf.AddTask("carla", proc.ID, "translate",
+		"translate §1 to German", "role:translator",
+		metas[0].ID, metas[len(metas)-1].ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approve, err := wf.AddTask("carla", proc.ID, "approve",
+		"final sign-off", "user:carla", util.NilID, util.NilID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run-time re-routing: carla decides a verification step is needed
+	// between translation and approval — inserted while the process runs.
+	verify, err := wf.InsertTaskAfter("carla", proc.ID, translate.ID,
+		"verify", "check the German translation", "role:verifier")
+	if err != nil {
+		log.Fatal(err)
+	}
+	printTasks(wf, proc.ID)
+
+	// tina (role translator) picks the task from her queue.
+	queue, _ := wf.NextFor("tina")
+	fmt.Printf("tina's queue: %d task(s)\n", len(queue))
+	must(wf.Accept("tina", translate.ID))
+	if _, err := doc.InsertText("tina", doc.Len(), "\n§1 (DE): Die Parteien vereinbaren die Zusammenarbeit."); err != nil {
+		log.Fatal(err)
+	}
+	must(wf.Complete("tina", translate.ID, "translated inline below §2"))
+
+	// vera verifies; carla approves; the process completes automatically.
+	must(wf.Accept("vera", verify.ID))
+	must(wf.Complete("vera", verify.ID, "grammar ok"))
+	must(wf.Accept("carla", approve.ID))
+	must(wf.Complete("carla", approve.ID, "signed"))
+
+	p, _ := wf.ProcessByID(proc.ID)
+	fmt.Printf("\nprocess %q is now: %s\n", p.Name, p.State)
+	printTasks(wf, proc.ID)
+	fmt.Printf("\nfinal document:\n%s\n", doc.Text())
+}
+
+func printTasks(wf *workflow.Store, proc util.ID) {
+	tasks, _ := wf.Tasks(proc)
+	fmt.Println("tasks in routing order:")
+	for _, t := range tasks {
+		fmt.Printf("  %-10s %-22s -> %-16s [%s]\n", t.Kind, t.Description, t.Assignee, t.State)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

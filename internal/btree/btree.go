@@ -1,0 +1,236 @@
+// Package btree implements an in-memory B+tree with byte-string keys,
+// used for the primary and secondary indexes of the TeNDaX database layer.
+//
+// Indexes are derived state in this system: they are rebuilt from heap scans
+// when a database opens (see DESIGN.md), so the tree needs no persistence of
+// its own. Deletion removes entries but does not rebalance underfull nodes;
+// lookups and scans remain correct, and the rebuild-on-open policy bounds
+// long-term sparsity.
+package btree
+
+import "bytes"
+
+const order = 64 // max keys per node
+
+// Tree is a B+tree mapping []byte keys to arbitrary values. It is not safe
+// for concurrent use; callers synchronize (the database layer serializes
+// index access under its latches).
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     []interface{} // leaf only, parallel to keys
+	children []*node       // interior only, len(keys)+1
+	next     *node         // leaf chain for range scans
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored at key, or nil and false.
+func (t *Tree) Get(key []byte) (interface{}, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := search(n.keys, key)
+	if !ok {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// Put stores value at key, replacing any existing value. It reports whether
+// the key was newly inserted.
+func (t *Tree) Put(key []byte, value interface{}) bool {
+	k := append([]byte(nil), key...)
+	inserted, splitKey, right := t.root.put(k, value)
+	if right != nil {
+		t.root = &node{
+			keys:     [][]byte{splitKey},
+			children: []*node{t.root, right},
+		}
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := search(n.keys, key)
+	if !ok {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// Ascend visits every entry in key order until fn returns false.
+func (t *Tree) Ascend(fn func(key []byte, value interface{}) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// AscendRange visits entries with from <= key < to in order until fn
+// returns false. A nil from starts at the smallest key; a nil to means no
+// upper bound.
+func (t *Tree) AscendRange(from, to []byte, fn func(key []byte, value interface{}) bool) {
+	n := t.root
+	for !n.leaf {
+		if from == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, from)]
+		}
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if from != nil && bytes.Compare(k, from) < 0 {
+				continue
+			}
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Min returns the smallest key, or nil if the tree is empty.
+func (t *Tree) Min() []byte {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		if len(n.keys) > 0 {
+			return n.keys[0]
+		}
+		n = n.next
+	}
+	return nil
+}
+
+// Max returns the largest key, or nil if the tree is empty.
+func (t *Tree) Max() []byte {
+	var best []byte
+	t.Ascend(func(k []byte, _ interface{}) bool {
+		best = k
+		return true
+	})
+	return best
+}
+
+// put inserts into the subtree rooted at n. If n splits, it returns the
+// separator key and the new right sibling.
+func (n *node) put(key []byte, value interface{}) (inserted bool, splitKey []byte, right *node) {
+	if n.leaf {
+		i, ok := search(n.keys, key)
+		if ok {
+			n.vals[i] = value
+			return false, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = value
+		if len(n.keys) > order {
+			sk, r := n.splitLeaf()
+			return true, sk, r
+		}
+		return true, nil, nil
+	}
+	ci := childIndex(n.keys, key)
+	ins, sk, r := n.children[ci].put(key, value)
+	if r != nil {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = sk
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = r
+		if len(n.keys) > order {
+			sk2, r2 := n.splitInterior()
+			return ins, sk2, r2
+		}
+	}
+	return ins, nil, nil
+}
+
+func (n *node) splitLeaf() (splitKey []byte, right *node) {
+	mid := len(n.keys) / 2
+	right = &node{
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([]interface{}(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (n *node) splitInterior() (splitKey []byte, right *node) {
+	mid := len(n.keys) / 2
+	splitKey = n.keys[mid]
+	right = &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return splitKey, right
+}
+
+// search finds the position of key in keys; ok reports an exact match.
+func search(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(keys[mid], key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		case 1:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childIndex returns which child subtree of an interior node covers key.
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

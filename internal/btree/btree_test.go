@@ -1,0 +1,210 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tendax/internal/util"
+)
+
+func TestPutGetBasic(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("Get on empty tree returned a value")
+	}
+	if !tr.Put([]byte("a"), 1) {
+		t.Fatal("fresh Put reported replace")
+	}
+	if tr.Put([]byte("a"), 2) {
+		t.Fatal("replacing Put reported insert")
+	}
+	v, ok := tr.Get([]byte("a"))
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("x"), "v")
+	if !tr.Delete([]byte("x")) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestManyKeysSplitAndScan(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%06d", i)), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	// Every key retrievable.
+	for i := 0; i < n; i += 97 {
+		v, ok := tr.Get([]byte(fmt.Sprintf("key-%06d", i)))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get key-%06d = %v, %v", i, v, ok)
+		}
+	}
+	// Full scan is ordered and complete.
+	prev := []byte(nil)
+	count := 0
+	tr.Ascend(func(k []byte, v interface{}) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("%03d", i)), i)
+	}
+	var got []int
+	tr.AscendRange([]byte("010"), []byte("020"), func(k []byte, v interface{}) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Early stop.
+	calls := 0
+	tr.AscendRange(nil, nil, func(k []byte, v interface{}) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop visited %d", calls)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("Min/Max of empty tree not nil")
+	}
+	for _, k := range []string{"m", "a", "z", "q"} {
+		tr.Put([]byte(k), k)
+	}
+	if string(tr.Min()) != "a" || string(tr.Max()) != "z" {
+		t.Fatalf("Min=%q Max=%q", tr.Min(), tr.Max())
+	}
+}
+
+// TestAgainstReferenceModel drives the tree and a map with the same random
+// operations and checks full agreement, including iteration order.
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := util.NewRand(12345)
+	tr := New()
+	ref := map[string]int{}
+	for step := 0; step < 20000; step++ {
+		key := fmt.Sprintf("k%04d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Put([]byte(key), step)
+			ref[key] = step
+		case 2:
+			delTree := tr.Delete([]byte(key))
+			_, inRef := ref[key]
+			if delTree != inRef {
+				t.Fatalf("step %d: Delete(%q) = %v, ref has %v", step, key, delTree, inRef)
+			}
+			delete(ref, key)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	var refKeys []string
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Strings(refKeys)
+	i := 0
+	tr.Ascend(func(k []byte, v interface{}) bool {
+		if i >= len(refKeys) {
+			t.Fatalf("tree has extra key %q", k)
+		}
+		if string(k) != refKeys[i] {
+			t.Fatalf("position %d: tree %q, ref %q", i, k, refKeys[i])
+		}
+		if v.(int) != ref[refKeys[i]] {
+			t.Fatalf("key %q: tree val %v, ref %v", k, v, ref[refKeys[i]])
+		}
+		i++
+		return true
+	})
+	if i != len(refKeys) {
+		t.Fatalf("tree missing %d keys", len(refKeys)-i)
+	}
+}
+
+func TestQuickPutGetDelete(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New()
+		ref := map[string][]byte{}
+		for _, k := range keys {
+			tr.Put(k, append([]byte(nil), k...))
+			ref[string(k)] = k
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for ks := range ref {
+			v, ok := tr.Get([]byte(ks))
+			if !ok || !bytes.Equal(v.([]byte), []byte(ks)) {
+				return false
+			}
+		}
+		for ks := range ref {
+			if !tr.Delete([]byte(ks)) {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyKeyAndBinaryKeys(t *testing.T) {
+	tr := New()
+	tr.Put([]byte{}, "empty")
+	tr.Put([]byte{0}, "zero")
+	tr.Put([]byte{0xff, 0xff}, "max")
+	if v, ok := tr.Get([]byte{}); !ok || v != "empty" {
+		t.Fatal("empty key lost")
+	}
+	if v, ok := tr.Get([]byte{0}); !ok || v != "zero" {
+		t.Fatal("zero-byte key lost")
+	}
+	if string(tr.Min()) != "" {
+		t.Fatal("empty key is not Min")
+	}
+}

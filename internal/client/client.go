@@ -1,0 +1,451 @@
+// Package client is the TeNDaX editor-side library: it speaks the wire
+// protocol, issues editing operations as requests, and maintains a live
+// local replica of each subscribed document by applying the server's
+// committed-operation pushes in sequence order — the "everything appears as
+// soon as it is stored persistently" behaviour of the paper.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"tendax/internal/protocol"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("client: connection closed")
+
+// Client is one editor connection to a TeNDaX server.
+type Client struct {
+	codec  *protocol.Codec
+	user   string
+	nextID atomic.Int64
+
+	mu      sync.Mutex
+	pending map[int64]chan *protocol.Message
+	docs    map[uint64]*Doc
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		codec:   protocol.NewCodec(nc),
+		pending: make(map[int64]chan *protocol.Message),
+		docs:    make(map[uint64]*Doc),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.codec.Close()
+}
+
+// User returns the logged-in user name.
+func (c *Client) User() string { return c.user }
+
+func (c *Client) readLoop() {
+	for {
+		m, err := c.codec.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch m.Type {
+		case protocol.TypeResponse:
+			c.mu.Lock()
+			ch := c.pending[m.ID]
+			delete(c.pending, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case protocol.TypePush:
+			if m.Event == nil {
+				continue
+			}
+			c.mu.Lock()
+			d := c.docs[m.Event.Doc]
+			c.mu.Unlock()
+			if d != nil {
+				d.apply(m.Event)
+			}
+		}
+	}
+}
+
+// call sends a request and waits for its response.
+func (c *Client) call(req *protocol.Message) (*protocol.Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := c.nextID.Add(1)
+	req.Type = protocol.TypeRequest
+	req.ID = id
+	ch := make(chan *protocol.Message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.codec.Send(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Login authenticates the connection.
+func (c *Client) Login(user, password string) error {
+	_, err := c.call(&protocol.Message{Op: protocol.OpLogin, User: user, Password: password})
+	if err != nil {
+		return err
+	}
+	c.user = user
+	return nil
+}
+
+// CreateDocument creates a document and returns its ID.
+func (c *Client) CreateDocument(name string) (uint64, error) {
+	resp, err := c.call(&protocol.Message{Op: protocol.OpCreateDoc, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Doc, nil
+}
+
+// ListDocuments returns server-side document metadata.
+func (c *Client) ListDocuments() ([]protocol.DocInfo, error) {
+	resp, err := c.call(&protocol.Message{Op: protocol.OpListDocs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// Doc is a live local replica of one document.
+type Doc struct {
+	c  *Client
+	id uint64
+
+	mu        sync.Mutex
+	runes     []rune
+	seq       uint64
+	lagged    bool
+	resyncing bool
+	events    []protocol.Event // retained for tests/UIs
+	watcher   func(protocol.Event)
+}
+
+// Open subscribes to a document and returns its replica, primed with the
+// current text.
+func (c *Client) Open(docID uint64) (*Doc, error) {
+	c.mu.Lock()
+	if d, ok := c.docs[docID]; ok {
+		c.mu.Unlock()
+		return d, nil
+	}
+	c.mu.Unlock()
+
+	d := &Doc{c: c, id: docID}
+	// Register before subscribing so no push is dropped; pushes arriving
+	// before the open snapshot are reconciled by sequence number.
+	c.mu.Lock()
+	c.docs[docID] = d
+	c.mu.Unlock()
+
+	if _, err := c.call(&protocol.Message{Op: protocol.OpSubscribe, Doc: docID}); err != nil {
+		c.mu.Lock()
+		delete(c.docs, docID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, err := c.call(&protocol.Message{Op: protocol.OpOpenDoc, Doc: docID})
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.runes = []rune(resp.Text)
+	d.seq = resp.Seq
+	d.mu.Unlock()
+	return d, nil
+}
+
+// ID returns the document ID.
+func (d *Doc) ID() uint64 { return d.id }
+
+// Text returns the replica's current text.
+func (d *Doc) Text() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return string(d.runes)
+}
+
+// Len returns the replica's length in characters.
+func (d *Doc) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.runes)
+}
+
+// Seq returns the last applied event sequence number.
+func (d *Doc) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// Watch installs a callback invoked on every applied event (UI updates,
+// test synchronisation). One watcher at a time.
+func (d *Doc) Watch(fn func(protocol.Event)) {
+	d.mu.Lock()
+	d.watcher = fn
+	d.mu.Unlock()
+}
+
+// Events returns a copy of all events applied so far.
+func (d *Doc) Events() []protocol.Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]protocol.Event(nil), d.events...)
+}
+
+// apply folds one pushed event into the replica. Events arrive in per-doc
+// sequence order; a gap (we were subscribed after some events, or the bus
+// dropped us) or a structural operation forces a resync.
+//
+// apply runs on the connection's read loop, so it must never issue a
+// request itself — the response could only be delivered by the very loop
+// that would be blocked waiting for it. Resyncs therefore run on their own
+// goroutine, with a flag suppressing event application meanwhile.
+func (d *Doc) apply(ev *protocol.Event) {
+	d.mu.Lock()
+	if d.resyncing {
+		d.mu.Unlock()
+		return // the pending resync supersedes this event
+	}
+	if ev.Seq <= d.seq { // duplicate or pre-snapshot event
+		d.mu.Unlock()
+		return
+	}
+	if ev.Seq != d.seq+1 || ev.Kind == "undo" || ev.Kind == "redo" {
+		// Gap, or an operation that changes arbitrary historical regions a
+		// position-based replica cannot replay.
+		d.resyncing = true
+		d.mu.Unlock()
+		go func() {
+			d.Resync()
+			d.mu.Lock()
+			d.resyncing = false
+			d.mu.Unlock()
+		}()
+		return
+	}
+	d.seq = ev.Seq
+	switch ev.Kind {
+	case "insert", "paste":
+		r := []rune(ev.Text)
+		if ev.Pos <= len(d.runes) {
+			d.runes = append(d.runes[:ev.Pos], append(r, d.runes[ev.Pos:]...)...)
+		}
+	case "delete":
+		if ev.Pos+ev.N <= len(d.runes) {
+			d.runes = append(d.runes[:ev.Pos], d.runes[ev.Pos+ev.N:]...)
+		}
+	}
+	d.events = append(d.events, *ev)
+	w := d.watcher
+	d.mu.Unlock()
+	if w != nil {
+		w(*ev)
+	}
+}
+
+// Resync refetches the authoritative text (after a gap or a structural
+// operation a position-based replica cannot replay).
+func (d *Doc) Resync() error {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpText, Doc: d.id})
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.runes = []rune(resp.Text)
+	if resp.Seq > d.seq {
+		d.seq = resp.Seq
+	}
+	w := d.watcher
+	d.mu.Unlock()
+	if w != nil {
+		w(protocol.Event{Doc: d.id, Kind: "resync"})
+	}
+	return nil
+}
+
+// Insert types text at pos through the server.
+func (d *Doc) Insert(pos int, text string) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpInsert, Doc: d.id, Pos: pos, Text: text})
+	return err
+}
+
+// Append types text at the end of the document (server-resolved position).
+func (d *Doc) Append(text string) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpAppend, Doc: d.id, Text: text})
+	return err
+}
+
+// Delete removes n characters at pos through the server.
+func (d *Doc) Delete(pos, n int) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpDelete, Doc: d.id, Pos: pos, N: n})
+	return err
+}
+
+// Copy captures a clipboard (with provenance) from the server.
+func (d *Doc) Copy(pos, n int) (*protocol.Clip, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpCopy, Doc: d.id, Pos: pos, N: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Clip, nil
+}
+
+// Paste inserts a clipboard at pos.
+func (d *Doc) Paste(pos int, clip *protocol.Clip) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpPaste, Doc: d.id, Pos: pos, Clip: clip})
+	return err
+}
+
+// Undo reverts this user's (scope local) or the document's (scope global)
+// latest operation.
+func (d *Doc) Undo(scope string) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpUndo, Doc: d.id, Scope: scope})
+	return err
+}
+
+// Redo re-applies the most recently undone operation in scope.
+func (d *Doc) Redo(scope string) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpRedo, Doc: d.id, Scope: scope})
+	return err
+}
+
+// Layout applies a layout span.
+func (d *Doc) Layout(pos, n int, kind, value string) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpLayout, Doc: d.id,
+		Pos: pos, N: n, Kind: kind, Value: value})
+	return err
+}
+
+// Note anchors a note at pos.
+func (d *Doc) Note(pos int, text string) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpNote, Doc: d.id, Pos: pos, Text: text})
+	return err
+}
+
+// CreateVersion snapshots the document.
+func (d *Doc) CreateVersion(name string) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpVersion, Doc: d.id, Name: name})
+	return err
+}
+
+// Versions lists the document's versions.
+func (d *Doc) Versions() ([]protocol.Version, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpVersions, Doc: d.id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Versions, nil
+}
+
+// VersionText fetches the text of a version.
+func (d *Doc) VersionText(id uint64) (string, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpVersionText, Doc: d.id, Version: id})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// Read records a read event and returns the text.
+func (d *Doc) Read() (string, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpRead, Doc: d.id})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// MoveCursor publishes the user's cursor position (awareness).
+func (d *Doc) MoveCursor(pos int) error {
+	_, err := d.c.call(&protocol.Message{Op: protocol.OpCursor, Doc: d.id, Pos: pos})
+	return err
+}
+
+// Presence lists users currently in the document.
+func (d *Doc) Presence() ([]protocol.Presence, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpPresence, Doc: d.id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Present, nil
+}
+
+// History returns the document's editing history.
+func (d *Doc) History() ([]protocol.HistoryOp, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpHistory, Doc: d.id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.History, nil
+}
+
+// WaitSeq blocks until the replica has applied sequence seq (tests and
+// deterministic demos); it resyncs if pushes stall.
+func (d *Doc) WaitSeq(seq uint64, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		d.mu.Lock()
+		cur := d.seq
+		d.mu.Unlock()
+		if cur >= seq {
+			return nil
+		}
+		if i == attempts/2 {
+			if err := d.Resync(); err != nil {
+				return err
+			}
+		}
+		sleepABit()
+	}
+	return fmt.Errorf("client: replica stuck at seq %d < %d", d.Seq(), seq)
+}

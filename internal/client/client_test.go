@@ -1,0 +1,204 @@
+package client
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/protocol"
+	"tendax/internal/server"
+)
+
+func harness(t *testing.T) string {
+	t.Helper()
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, nil)
+	srv.SetLogf(func(string, ...interface{}) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		srv.Close()
+		database.Close()
+	})
+	return addr.String()
+}
+
+func TestDialLoginClose(t *testing.T) {
+	addr := harness(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Login("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	if c.User() != "alice" {
+		t.Fatalf("User = %q", c.User())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDocument("x"); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestOpenIsIdempotent(t *testing.T) {
+	addr := harness(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Login("alice", "")
+	id, _ := c.CreateDocument("doc")
+	d1, err := c.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("second Open returned a different replica")
+	}
+}
+
+func TestReplicaConvergesUnderConcurrentClients(t *testing.T) {
+	addr := harness(t)
+	host, _ := Dial(addr)
+	defer host.Close()
+	host.Login("host", "")
+	docID, _ := host.CreateDocument("converge")
+	hd, err := host.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, ops = 4, 15
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			c.Login("u", "")
+			d, err := c.Open(docID)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < ops; j++ {
+				if err := d.Append("ab"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// The host replica must converge to the full text.
+	if err := hd.Resync(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Repeat("ab", clients*ops)
+	if hd.Text() != want {
+		t.Fatalf("host replica = %d chars, want %d", len(hd.Text()), len(want))
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	addr := harness(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Login("alice", "")
+	id, _ := c.CreateDocument("events")
+	d, _ := c.Open(id)
+	base := d.Seq()
+	d.Insert(0, "one")
+	d.Delete(0, 1)
+	if err := d.WaitSeq(base+2, 500); err != nil {
+		t.Fatal(err)
+	}
+	evs := d.Events()
+	if len(evs) < 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != "delete" || last.N != 1 {
+		t.Fatalf("last event = %+v", last)
+	}
+}
+
+func TestWatchCallback(t *testing.T) {
+	addr := harness(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Login("alice", "")
+	id, _ := c.CreateDocument("watched")
+	d, _ := c.Open(id)
+	got := make(chan protocol.Event, 8)
+	d.Watch(func(ev protocol.Event) { got <- ev })
+	base := d.Seq()
+	d.Insert(0, "ping")
+	if err := d.WaitSeq(base+1, 500); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-got
+	if ev.Kind != "insert" || ev.Text != "ping" {
+		t.Fatalf("watched event = %+v", ev)
+	}
+}
+
+func TestListDocuments(t *testing.T) {
+	addr := harness(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Login("alice", "")
+	c.CreateDocument("one")
+	c.CreateDocument("two")
+	infos, err := c.ListDocuments()
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("ListDocuments = %v, %v", infos, err)
+	}
+}
+
+func TestServerErrorSurfaces(t *testing.T) {
+	addr := harness(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Login("alice", "")
+	id, _ := c.CreateDocument("err")
+	d, _ := c.Open(id)
+	if err := d.Insert(99, "out of range"); err == nil {
+		t.Fatal("out-of-range insert succeeded")
+	}
+	if err := d.Delete(0, 5); err == nil {
+		t.Fatal("delete on empty doc succeeded")
+	}
+	// The connection survives errors.
+	if err := d.Insert(0, "fine"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,6 @@
+package client
+
+import "time"
+
+// sleepABit is the polling interval of WaitSeq, isolated for clarity.
+func sleepABit() { time.Sleep(2 * time.Millisecond) }

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tendax/internal/awareness"
+	"tendax/internal/db"
+	"tendax/internal/texttree"
+	"tendax/internal/txn"
+	"tendax/internal/util"
+)
+
+// Document is an open handle on one TeNDaX document. All editing methods
+// are transactional: the in-memory buffer is only updated after the
+// database transaction commits, and the committed operation is published on
+// the awareness bus. Methods are safe for concurrent use.
+type Document struct {
+	eng *Engine
+	id  util.ID
+
+	mu         sync.Mutex
+	buf        *texttree.Buffer
+	ops        []opRecord // operation log cache (ops table is authoritative)
+	name       string
+	creator    string
+	created    time.Time
+	modified   time.Time
+	lastAuthor string
+	state      string
+	authors    map[string]bool
+}
+
+func newDocument(e *Engine, id util.ID, name, creator string, created time.Time, state string) *Document {
+	d := &Document{
+		eng:     e,
+		id:      id,
+		buf:     texttree.NewBuffer(),
+		name:    name,
+		creator: creator,
+		created: created,
+		state:   state,
+		authors: map[string]bool{},
+	}
+	if creator != "" {
+		d.authors[creator] = true
+	}
+	return d
+}
+
+// load rebuilds the buffer from the chars table.
+func (d *Document) load() error {
+	rids, err := d.eng.tChars.LookupEq("doc", int64(d.id))
+	if err != nil {
+		return err
+	}
+	rows := make([]texttree.Char, 0, len(rids))
+	for _, rid := range rids {
+		row, err := d.eng.tChars.Get(nil, rid)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, charFromRow(row))
+	}
+	buf, err := texttree.Load(rows)
+	if err != nil {
+		return fmt.Errorf("core: document %v: %w", d.id, err)
+	}
+	d.buf = buf
+	for _, a := range buf.Authors() {
+		d.authors[a] = true
+	}
+	return d.loadOps()
+}
+
+// ID returns the document's identifier.
+func (d *Document) ID() util.ID { return d.id }
+
+// Name returns the document's name.
+func (d *Document) Name() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.name
+}
+
+// Len returns the number of visible characters.
+func (d *Document) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.buf.Len()
+}
+
+// Text returns the full visible text without access filtering (embedded,
+// trusted callers). Use TextFor to apply character-level security.
+func (d *Document) Text() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.buf.Text()
+}
+
+// TextFor returns the text user is allowed to read: characters masked by
+// range ACLs are elided (paper: fine-grained security).
+func (d *Document) TextFor(user string) (string, error) {
+	if err := d.eng.allowed(user, d.id, RRead); err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := d.buf.VisibleIDs()
+	var mask []bool
+	if d.eng.check != nil {
+		mask = d.eng.check.ReadableMask(user, d.id, ids)
+	}
+	var sb strings.Builder
+	for i, id := range ids {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		ch, _ := d.buf.Char(id)
+		sb.WriteRune(ch.Rune)
+	}
+	return sb.String(), nil
+}
+
+// Info returns current document metadata.
+func (d *Document) Info() DocInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	authors := make([]string, 0, len(d.authors))
+	for a := range d.authors {
+		authors = append(authors, a)
+	}
+	sort.Strings(authors)
+	return DocInfo{
+		ID: d.id, Name: d.name, Creator: d.creator, Created: d.created,
+		Modified: d.modified, LastAuthor: d.lastAuthor, Size: d.buf.Len(),
+		State: d.state, Authors: authors,
+	}
+}
+
+// Buffer grants read access to the underlying buffer for subsystems
+// (lineage, search) that need character-level metadata. Callers must not
+// mutate it.
+func (d *Document) Buffer() *texttree.Buffer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.buf
+}
+
+// InsertText types text at visible position pos on behalf of user, as one
+// transaction. It returns the operation ID.
+func (d *Document) InsertText(user string, pos int, text string) (util.ID, error) {
+	return d.insert(user, pos, text, "insert", util.NilID, nil)
+}
+
+// AppendText types text at the end of the document. Unlike InsertText with
+// a caller-computed position, the end position is resolved under the
+// document lock, so concurrent appenders never interleave inside each
+// other's runs.
+func (d *Document) AppendText(user string, text string) (util.ID, error) {
+	return d.insert(user, -1, text, "insert", util.NilID, nil)
+}
+
+// Clipboard is the result of a Copy: the text plus the identities of the
+// copied character instances, which Paste records as provenance.
+type Clipboard struct {
+	Text     string
+	SrcDoc   util.ID
+	SrcChars []util.ID
+}
+
+// Copy captures [pos, pos+n) into a clipboard and logs the copy action
+// (TeNDaX gathers metadata on all copy and paste operations).
+func (d *Document) Copy(user string, pos, n int) (Clipboard, error) {
+	if err := d.eng.allowed(user, d.id, RRead); err != nil {
+		return Clipboard{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := d.buf.RangeIDs(pos, n)
+	if len(ids) != n {
+		return Clipboard{}, fmt.Errorf("%w: copy [%d,%d) of %d chars", ErrRange, pos, pos+n, d.buf.Len())
+	}
+	clip := Clipboard{Text: d.buf.Slice(pos, n), SrcDoc: d.id, SrcChars: ids}
+	opID := d.eng.ids.Next()
+	now := d.eng.clock.Now()
+	err := d.eng.withTxn(func(tx *txn.Txn) error {
+		return d.writeOpRow(tx, &opRecord{ID: opID, User: user, Kind: "copy",
+			CharIDs: ids, Created: now})
+	})
+	if err != nil {
+		return Clipboard{}, err
+	}
+	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "copy", CharIDs: ids, Created: now})
+	return clip, nil
+}
+
+// Paste inserts clipboard content at pos, recording per-character
+// provenance links back to the source characters (the data-lineage raw
+// material, Figure 1).
+func (d *Document) Paste(user string, pos int, clip Clipboard) (util.ID, error) {
+	return d.insert(user, pos, clip.Text, "paste", clip.SrcDoc, clip.SrcChars)
+}
+
+// insert implements InsertText/Paste/notes: one transaction that chains the
+// new character rows, rewrites the two neighbour links, logs the operation
+// and refreshes document metadata.
+func (d *Document) insert(user string, pos int, text, kind string, srcDoc util.ID, srcChars []util.ID) (util.ID, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, err
+	}
+	runes := []rune(text)
+	if len(runes) == 0 {
+		return util.NilID, fmt.Errorf("core: empty %s", kind)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if pos < 0 { // append: resolve under the lock
+		pos = d.buf.Len()
+	}
+	prevID, err := d.buf.PredecessorForInsert(pos)
+	if err != nil {
+		return util.NilID, fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.buf.Len())
+	}
+	succID := d.buf.ChainSuccessor(prevID)
+	now := d.eng.clock.Now()
+	opID := d.eng.ids.Next()
+
+	chars := make([]texttree.Char, len(runes))
+	ids := make([]util.ID, len(runes))
+	for i := range runes {
+		ids[i] = d.eng.ids.Next()
+	}
+	for i, r := range runes {
+		ch := texttree.Char{
+			ID: ids[i], Rune: r, Author: user, Created: now,
+			SourceDoc: srcDoc,
+		}
+		if srcChars != nil && i < len(srcChars) {
+			ch.SourceChar = srcChars[i]
+		}
+		if i == 0 {
+			ch.Prev = prevID
+		} else {
+			ch.Prev = ids[i-1]
+		}
+		if i == len(runes)-1 {
+			ch.Next = succID
+		} else {
+			ch.Next = ids[i+1]
+		}
+		chars[i] = ch
+	}
+
+	err = d.eng.withTxn(func(tx *txn.Txn) error {
+		for i := range chars {
+			if _, err := d.eng.tChars.Insert(tx, d.rowFromChar(&chars[i])); err != nil {
+				return err
+			}
+		}
+		if !prevID.IsNil() {
+			pc, _ := d.buf.Char(prevID)
+			upd := *pc
+			upd.Next = ids[0]
+			if err := d.eng.tChars.UpdateByPK(tx, int64(prevID), d.rowFromChar(&upd)); err != nil {
+				return err
+			}
+		}
+		if !succID.IsNil() {
+			sc, _ := d.buf.Char(succID)
+			upd := *sc
+			upd.Prev = ids[len(ids)-1]
+			if err := d.eng.tChars.UpdateByPK(tx, int64(succID), d.rowFromChar(&upd)); err != nil {
+				return err
+			}
+		}
+		if err := d.writeOpRow(tx, &opRecord{ID: opID, User: user, Kind: kind,
+			CharIDs: ids, Created: now}); err != nil {
+			return err
+		}
+		return d.updateDocRowLocked(tx, user, now, d.buf.Len()+len(runes))
+	})
+	if err != nil {
+		return util.NilID, err
+	}
+
+	// Transaction committed: apply to the in-memory buffer and notify.
+	at := prevID
+	for i := range chars {
+		if _, err := d.buf.InsertAfter(at, chars[i]); err != nil {
+			return util.NilID, fmt.Errorf("core: buffer diverged: %w", err)
+		}
+		at = chars[i].ID
+	}
+	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: kind, CharIDs: ids, Created: now})
+	d.noteAuthorLocked(user, now)
+	evKind := awareness.EvInsert
+	if kind == "paste" {
+		evKind = awareness.EvPaste
+	}
+	d.eng.bus.Publish(awareness.Event{
+		Doc: d.id, Kind: evKind, User: user, OpID: opID,
+		Pos: pos, Text: text, N: len(runes), At: now,
+	})
+	return opID, nil
+}
+
+// DeleteRange deletes n visible characters starting at pos, as one
+// transaction. Characters become tombstones (logical deletion), preserving
+// history, versions and provenance.
+func (d *Document) DeleteRange(user string, pos, n int) (util.ID, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, err
+	}
+	if n <= 0 {
+		return util.NilID, fmt.Errorf("core: delete of %d chars", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := d.buf.RangeIDs(pos, n)
+	if len(ids) != n {
+		return util.NilID, fmt.Errorf("%w: delete [%d,%d) of %d chars", ErrRange, pos, pos+n, d.buf.Len())
+	}
+	now := d.eng.clock.Now()
+	opID := d.eng.ids.Next()
+
+	err := d.eng.withTxn(func(tx *txn.Txn) error {
+		for _, id := range ids {
+			ch, _ := d.buf.Char(id)
+			upd := *ch
+			upd.Deleted = true
+			upd.DeletedBy = user
+			upd.DeletedAt = now
+			if err := d.eng.tChars.UpdateByPK(tx, int64(id), d.rowFromChar(&upd)); err != nil {
+				return err
+			}
+		}
+		if err := d.writeOpRow(tx, &opRecord{ID: opID, User: user, Kind: "delete",
+			CharIDs: ids, Created: now}); err != nil {
+			return err
+		}
+		return d.updateDocRowLocked(tx, user, now, d.buf.Len()-n)
+	})
+	if err != nil {
+		return util.NilID, err
+	}
+	for _, id := range ids {
+		d.buf.Delete(id, user, now)
+	}
+	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "delete", CharIDs: ids, Created: now})
+	d.noteAuthorLocked(user, now)
+	d.eng.bus.Publish(awareness.Event{
+		Doc: d.id, Kind: awareness.EvDelete, User: user, OpID: opID,
+		Pos: pos, N: n, At: now,
+	})
+	return opID, nil
+}
+
+// RecordRead logs that user read the document now (metadata for dynamic
+// folders such as "documents I read this week") and returns the text.
+func (d *Document) RecordRead(user string) (string, error) {
+	text, err := d.TextFor(user)
+	if err != nil {
+		return "", err
+	}
+	now := d.eng.clock.Now()
+	id := d.eng.ids.Next()
+	err = d.eng.withTxn(func(tx *txn.Txn) error {
+		_, err := d.eng.tReads.Insert(tx, db.Row{int64(id), int64(d.id), user, now})
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+// SetState transitions the document state (draft, review, final, …);
+// workflow uses this for document routing.
+func (d *Document) SetState(user, state string) error {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.eng.clock.Now()
+	err := d.eng.withTxn(func(tx *txn.Txn) error {
+		row, _, err := d.eng.tDocs.GetByPK(tx, int64(d.id))
+		if err != nil {
+			return err
+		}
+		row[7] = state
+		row[4] = now
+		return d.eng.tDocs.UpdateByPK(tx, int64(d.id), row)
+	})
+	if err != nil {
+		return err
+	}
+	d.state = state
+	d.modified = now
+	return nil
+}
+
+// SetProperty stores a user-defined document property (paper §2:
+// "user defined properties").
+func (d *Document) SetProperty(user, key, value string) error {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return err
+	}
+	id := d.eng.ids.Next()
+	return d.eng.withTxn(func(tx *txn.Txn) error {
+		// Replace an existing property with the same key.
+		rids, err := d.eng.tProps.LookupEq("doc", int64(d.id))
+		if err != nil {
+			return err
+		}
+		for _, rid := range rids {
+			row, err := d.eng.tProps.Get(tx, rid)
+			if err != nil {
+				continue
+			}
+			if row[2].(string) == key {
+				row[3] = value
+				return d.eng.tProps.Update(tx, rid, row)
+			}
+		}
+		_, err = d.eng.tProps.Insert(tx, db.Row{int64(id), int64(d.id), key, value})
+		return err
+	})
+}
+
+// Properties returns the document's user-defined properties.
+func (d *Document) Properties() (map[string]string, error) {
+	rids, err := d.eng.tProps.LookupEq("doc", int64(d.id))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(rids))
+	for _, rid := range rids {
+		row, err := d.eng.tProps.Get(nil, rid)
+		if err != nil {
+			continue
+		}
+		out[row[2].(string)] = row[3].(string)
+	}
+	return out, nil
+}
+
+// CharMeta is the character-level metadata TeNDaX gathers automatically.
+type CharMeta struct {
+	ID         util.ID
+	Rune       rune
+	Author     string
+	Created    time.Time
+	Deleted    bool
+	DeletedBy  string
+	DeletedAt  time.Time
+	SourceDoc  util.ID
+	SourceChar util.ID
+}
+
+// CharMetaAt returns the metadata of the visible character at pos.
+func (d *Document) CharMetaAt(pos int) (CharMeta, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.buf.IDAt(pos)
+	if !ok {
+		return CharMeta{}, fmt.Errorf("%w: %d of %d", ErrRange, pos, d.buf.Len())
+	}
+	ch, _ := d.buf.Char(id)
+	return charMetaOf(ch), nil
+}
+
+// RangeMeta returns metadata for the visible range [pos, pos+n).
+func (d *Document) RangeMeta(pos, n int) ([]CharMeta, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := d.buf.RangeIDs(pos, n)
+	if len(ids) != n {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrRange, pos, pos+n, d.buf.Len())
+	}
+	out := make([]CharMeta, n)
+	for i, id := range ids {
+		ch, _ := d.buf.Char(id)
+		out[i] = charMetaOf(ch)
+	}
+	return out, nil
+}
+
+func charMetaOf(ch *texttree.Char) CharMeta {
+	return CharMeta{
+		ID: ch.ID, Rune: ch.Rune, Author: ch.Author, Created: ch.Created,
+		Deleted: ch.Deleted, DeletedBy: ch.DeletedBy, DeletedAt: ch.DeletedAt,
+		SourceDoc: ch.SourceDoc, SourceChar: ch.SourceChar,
+	}
+}
+
+// rowFromChar converts a character instance into its chars-table row.
+func (d *Document) rowFromChar(ch *texttree.Char) db.Row {
+	return db.Row{
+		int64(ch.ID), int64(d.id), int64(ch.Rune), ch.Author, ch.Created,
+		int64(ch.Prev), int64(ch.Next), ch.Deleted, ch.DeletedBy,
+		nonZeroTime(ch.DeletedAt), int64(ch.SourceDoc), int64(ch.SourceChar),
+	}
+}
+
+func charFromRow(row db.Row) texttree.Char {
+	return texttree.Char{
+		ID:         util.ID(row[0].(int64)),
+		Rune:       rune(row[2].(int64)),
+		Author:     row[3].(string),
+		Created:    row[4].(time.Time),
+		Prev:       util.ID(row[5].(int64)),
+		Next:       util.ID(row[6].(int64)),
+		Deleted:    row[7].(bool),
+		DeletedBy:  row[8].(string),
+		DeletedAt:  zeroableTime(row[9].(time.Time)),
+		SourceDoc:  util.ID(row[10].(int64)),
+		SourceChar: util.ID(row[11].(int64)),
+	}
+}
+
+// The row codec stores time as UnixNano; represent "no time" as Unix(0,0).
+func nonZeroTime(t time.Time) time.Time {
+	if t.IsZero() {
+		return time.Unix(0, 0).UTC()
+	}
+	return t
+}
+
+func zeroableTime(t time.Time) time.Time {
+	if t.Equal(time.Unix(0, 0).UTC()) {
+		return time.Time{}
+	}
+	return t
+}
+
+// updateDocRowLocked refreshes the docs-table row inside tx. Caller holds
+// d.mu; newSize is the post-operation visible length.
+func (d *Document) updateDocRowLocked(tx *txn.Txn, user string, now time.Time, newSize int) error {
+	row, _, err := d.eng.tDocs.GetByPK(tx, int64(d.id))
+	if err != nil {
+		return err
+	}
+	row[4] = now
+	row[5] = user
+	row[6] = int64(newSize)
+	if !d.authors[user] {
+		cur := row[8].(string)
+		if cur == "" {
+			row[8] = user
+		} else {
+			row[8] = cur + "," + user
+		}
+	}
+	return d.eng.tDocs.UpdateByPK(tx, int64(d.id), row)
+}
+
+func (d *Document) noteAuthorLocked(user string, now time.Time) {
+	d.authors[user] = true
+	d.lastAuthor = user
+	d.modified = now
+}
+
+// CheckInvariants verifies buffer invariants plus buffer/database
+// consistency of the visible text (tests and failure injection).
+func (d *Document) CheckInvariants() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.buf.CheckInvariants(); err != nil {
+		return err
+	}
+	// Reload from the database and compare.
+	rids, err := d.eng.tChars.LookupEq("doc", int64(d.id))
+	if err != nil {
+		return err
+	}
+	rows := make([]texttree.Char, 0, len(rids))
+	for _, rid := range rids {
+		row, err := d.eng.tChars.Get(nil, rid)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, charFromRow(row))
+	}
+	fresh, err := texttree.Load(rows)
+	if err != nil {
+		return fmt.Errorf("core: reload: %w", err)
+	}
+	if fresh.Text() != d.buf.Text() {
+		return fmt.Errorf("core: buffer/database divergence:\n mem %q\n db  %q",
+			firstN(d.buf.Text(), 60), firstN(fresh.Text(), 60))
+	}
+	return nil
+}
+
+func firstN(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OutlineEntry is one heading in a document's structure.
+type OutlineEntry struct {
+	Level int
+	Text  string
+	Pos   int // visible position of the heading start
+}
+
+// Outline extracts the document structure from heading spans, in document
+// order — the paper's structure definitions made queryable.
+func (d *Document) Outline() ([]OutlineEntry, error) {
+	spans, err := d.Spans()
+	if err != nil {
+		return nil, err
+	}
+	text := []rune(d.Text())
+	var out []OutlineEntry
+	for _, s := range spans {
+		if s.Kind != SpanHeading {
+			continue
+		}
+		level, err := strconv.Atoi(s.Value)
+		if err != nil {
+			level = 1
+		}
+		from, to := d.SpanRange(s)
+		if from >= len(text) || from >= to {
+			continue
+		}
+		if to > len(text) {
+			to = len(text)
+		}
+		out = append(out, OutlineEntry{Level: level, Text: string(text[from:to]), Pos: from})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// RenderMarkup renders the document as plain text with inline layout
+// markers: `<bold>…</bold>`, `<heading=1>…</heading>` and `[note(author):
+// text]` anchors. This is the headless substitute for the GUI editors'
+// rich rendering: it proves layout and structure survive collaborative
+// editing with character-anchored spans.
+func (d *Document) RenderMarkup() (string, error) {
+	spans, err := d.Spans()
+	if err != nil {
+		return nil2str(err)
+	}
+	text := []rune(d.Text())
+
+	type marker struct {
+		pos   int
+		order int // opens before closes at the same position sort later
+		text  string
+	}
+	var markers []marker
+	for _, s := range spans {
+		from, to := d.SpanRange(s)
+		if s.Kind == SpanNote {
+			markers = append(markers, marker{pos: from, order: 0,
+				text: fmt.Sprintf("[note(%s): %s]", s.Author, s.Value)})
+			continue
+		}
+		if from >= to {
+			continue
+		}
+		openTxt := "<" + s.Kind
+		if s.Value != "" && s.Value != "true" {
+			openTxt += "=" + s.Value
+		}
+		openTxt += ">"
+		markers = append(markers, marker{pos: from, order: 1, text: openTxt})
+		markers = append(markers, marker{pos: to, order: -1, text: "</" + s.Kind + ">"})
+	}
+	sort.SliceStable(markers, func(i, j int) bool {
+		if markers[i].pos != markers[j].pos {
+			return markers[i].pos < markers[j].pos
+		}
+		return markers[i].order < markers[j].order
+	})
+
+	var sb strings.Builder
+	mi := 0
+	for pos := 0; pos <= len(text); pos++ {
+		for mi < len(markers) && markers[mi].pos == pos {
+			sb.WriteString(markers[mi].text)
+			mi++
+		}
+		if pos < len(text) {
+			sb.WriteRune(text[pos])
+		}
+	}
+	return sb.String(), nil
+}
+
+func nil2str(err error) (string, error) { return "", err }

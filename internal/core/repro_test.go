@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestQuickstartSequence replays the quickstart example's exact operation
+// order, which once exposed a page-full error on version creation.
+func TestQuickstartSequence(t *testing.T) {
+	e := newEngine(t)
+	doc, err := e.CreateDocument("alice", "quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.InsertText("alice", 0, "TeNDaX stores text natively in a database."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.InsertText("bob", 7, "— a Text Native Database eXtension — "); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.CharMetaAt(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.ApplyLayout("alice", 0, 6, SpanBold, "true"); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := doc.CreateVersion("alice", "v1")
+	if err != nil {
+		t.Fatalf("CreateVersion: %v", err)
+	}
+	if _, err := doc.DeleteRange("alice", 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.VersionText(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.UndoLocal("alice"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tendax/internal/awareness"
+	"tendax/internal/db"
+	"tendax/internal/txn"
+	"tendax/internal/util"
+)
+
+// Span is a layout, structure or note annotation anchored to character
+// instances. Because anchors are character identities rather than offsets,
+// spans survive concurrent edits without adjustment — the TeNDaX approach
+// to collaborative layouting.
+type Span struct {
+	ID      util.ID
+	Kind    string // bold, italic, heading, paragraph-style, note, …
+	Value   string // e.g. heading level, font, or the note text
+	Start   util.ID
+	End     util.ID
+	Author  string
+	Created time.Time
+	Removed bool
+}
+
+// Standard span kinds.
+const (
+	SpanBold    = "bold"
+	SpanItalic  = "italic"
+	SpanFont    = "font"
+	SpanHeading = "heading"
+	SpanStyle   = "style"
+	SpanNote    = "note"
+)
+
+// ApplyLayout annotates the visible range [pos, pos+n) with a layout or
+// structure span, as one transaction. Returns the new span's ID.
+func (d *Document) ApplyLayout(user string, pos, n int, kind, value string) (util.ID, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, err
+	}
+	if n <= 0 {
+		return util.NilID, fmt.Errorf("core: layout over %d chars", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := d.buf.RangeIDs(pos, n)
+	if len(ids) != n {
+		return util.NilID, fmt.Errorf("%w: layout [%d,%d) of %d", ErrRange, pos, pos+n, d.buf.Len())
+	}
+	spanID := d.eng.ids.Next()
+	opID := d.eng.ids.Next()
+	now := d.eng.clock.Now()
+	start, end := ids[0], ids[len(ids)-1]
+
+	err := d.eng.withTxn(func(tx *txn.Txn) error {
+		if _, err := d.eng.tSpans.Insert(tx, db.Row{
+			int64(spanID), int64(d.id), kind, value, int64(start), int64(end),
+			user, now, false,
+		}); err != nil {
+			return err
+		}
+		if _, err := d.eng.tOps.Insert(tx, db.Row{
+			int64(opID), int64(d.id), user, "layout", []byte{}, int64(spanID), now, false,
+		}); err != nil {
+			return err
+		}
+		return d.updateDocRowLocked(tx, user, now, d.buf.Len())
+	})
+	if err != nil {
+		return util.NilID, err
+	}
+	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout", Ref: spanID, Created: now})
+	d.noteAuthorLocked(user, now)
+	d.eng.bus.Publish(awareness.Event{
+		Doc: d.id, Kind: awareness.EvLayout, User: user, OpID: opID,
+		Pos: pos, N: n, Name: kind + "=" + value, At: now,
+	})
+	return spanID, nil
+}
+
+// SetHeading marks [pos, pos+n) as a heading of the given level (structure
+// definition in the paper's terms).
+func (d *Document) SetHeading(user string, pos, n, level int) (util.ID, error) {
+	return d.ApplyLayout(user, pos, n, SpanHeading, fmt.Sprintf("%d", level))
+}
+
+// InsertNote attaches a note to the visible character at pos.
+func (d *Document) InsertNote(user string, pos int, text string) (util.ID, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	anchor, ok := d.buf.IDAt(pos)
+	if !ok {
+		return util.NilID, fmt.Errorf("%w: note at %d of %d", ErrRange, pos, d.buf.Len())
+	}
+	spanID := d.eng.ids.Next()
+	opID := d.eng.ids.Next()
+	now := d.eng.clock.Now()
+	err := d.eng.withTxn(func(tx *txn.Txn) error {
+		if _, err := d.eng.tSpans.Insert(tx, db.Row{
+			int64(spanID), int64(d.id), SpanNote, text, int64(anchor), int64(anchor),
+			user, now, false,
+		}); err != nil {
+			return err
+		}
+		if _, err := d.eng.tOps.Insert(tx, db.Row{
+			int64(opID), int64(d.id), user, "layout", []byte{}, int64(spanID), now, false,
+		}); err != nil {
+			return err
+		}
+		return d.updateDocRowLocked(tx, user, now, d.buf.Len())
+	})
+	if err != nil {
+		return util.NilID, err
+	}
+	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout", Ref: spanID, Created: now})
+	d.noteAuthorLocked(user, now)
+	d.eng.bus.Publish(awareness.Event{
+		Doc: d.id, Kind: awareness.EvNote, User: user, OpID: opID,
+		Pos: pos, Text: text, At: now,
+	})
+	return spanID, nil
+}
+
+// RemoveSpan retracts a span (layout removal), as one transaction.
+func (d *Document) RemoveSpan(user string, spanID util.ID) error {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	opID := d.eng.ids.Next()
+	now := d.eng.clock.Now()
+	err := d.eng.withTxn(func(tx *txn.Txn) error {
+		row, _, err := d.eng.tSpans.GetByPK(tx, int64(spanID))
+		if err != nil {
+			return err
+		}
+		if util.ID(row[1].(int64)) != d.id {
+			return fmt.Errorf("core: span %v belongs to another document", spanID)
+		}
+		row[8] = true
+		if err := d.eng.tSpans.UpdateByPK(tx, int64(spanID), row); err != nil {
+			return err
+		}
+		if _, err := d.eng.tOps.Insert(tx, db.Row{
+			int64(opID), int64(d.id), user, "layout-remove", []byte{}, int64(spanID), now, false,
+		}); err != nil {
+			return err
+		}
+		return d.updateDocRowLocked(tx, user, now, d.buf.Len())
+	})
+	if err != nil {
+		return err
+	}
+	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout-remove", Ref: spanID, Created: now})
+	d.noteAuthorLocked(user, now)
+	d.eng.bus.Publish(awareness.Event{
+		Doc: d.id, Kind: awareness.EvLayout, User: user, OpID: opID,
+		Name: "remove", At: now,
+	})
+	return nil
+}
+
+// Spans returns the document's active (non-removed) spans, oldest first.
+func (d *Document) Spans() ([]Span, error) {
+	rids, err := d.eng.tSpans.LookupEq("doc", int64(d.id))
+	if err != nil {
+		return nil, err
+	}
+	var out []Span
+	for _, rid := range rids {
+		row, err := d.eng.tSpans.Get(nil, rid)
+		if err != nil {
+			continue
+		}
+		if row[8].(bool) {
+			continue
+		}
+		out = append(out, spanFromRow(row))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func spanFromRow(row db.Row) Span {
+	return Span{
+		ID:      util.ID(row[0].(int64)),
+		Kind:    row[2].(string),
+		Value:   row[3].(string),
+		Start:   util.ID(row[4].(int64)),
+		End:     util.ID(row[5].(int64)),
+		Author:  row[6].(string),
+		Created: row[7].(time.Time),
+		Removed: row[8].(bool),
+	}
+}
+
+// SpanRange resolves a span's current visible position range [start, end).
+// Anchors may be tombstones: a tombstoned start contributes the position
+// where its text would resume; a tombstoned end closes the range there.
+func (d *Document) SpanRange(s Span) (start, end int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.buf.RankOf(s.Start); ok {
+		start = r
+	}
+	if r, ok := d.buf.PosOf(s.End); ok {
+		end = r + 1
+	} else if r, ok := d.buf.RankOf(s.End); ok {
+		end = r
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"tendax/internal/awareness"
+	"tendax/internal/db"
+	"tendax/internal/txn"
+	"tendax/internal/util"
+)
+
+// ErrNothingToUndo reports an empty undo (or redo) history for the scope.
+var ErrNothingToUndo = errors.New("core: nothing to undo")
+
+// ErrNothingToRedo reports that no undone operation is available to redo.
+var ErrNothingToRedo = errors.New("core: nothing to redo")
+
+// opRecord mirrors one ops-table row in memory. The document keeps its
+// operation log cached (the table remains the source of truth and the cache
+// is rebuilt on open).
+type opRecord struct {
+	ID      util.ID
+	User    string
+	Kind    string
+	CharIDs []util.ID
+	Ref     util.ID
+	Created time.Time
+	Undone  bool
+}
+
+// opChunkBytes bounds the char-ID payload stored per row; longer lists
+// spill into opchunks continuation rows.
+const opChunkBytes = 128 * 8
+
+// loadOps populates the in-memory operation log from the ops table,
+// reassembling chunked ID payloads.
+func (d *Document) loadOps() error {
+	rids, err := d.eng.tOps.LookupEq("doc", int64(d.id))
+	if err != nil {
+		return err
+	}
+	d.ops = d.ops[:0]
+	for _, rid := range rids {
+		row, err := d.eng.tOps.Get(nil, rid)
+		if err != nil {
+			return err
+		}
+		op := opFromRow(row)
+		if len(row[4].([]byte)) >= opChunkBytes {
+			more, err := d.loadOpChunks(op.ID)
+			if err != nil {
+				return err
+			}
+			op.CharIDs = append(op.CharIDs, more...)
+		}
+		d.ops = append(d.ops, op)
+	}
+	// LookupEq returns RID order; ops were appended over time but RID order
+	// within one doc can interleave with other docs' pages, so sort by ID
+	// (IDs are allocation-ordered).
+	for i := 1; i < len(d.ops); i++ {
+		for j := i; j > 0 && d.ops[j].ID < d.ops[j-1].ID; j-- {
+			d.ops[j], d.ops[j-1] = d.ops[j-1], d.ops[j]
+		}
+	}
+	return nil
+}
+
+// loadOpChunks returns the continuation char IDs of one op, in order.
+func (d *Document) loadOpChunks(opID util.ID) ([]util.ID, error) {
+	rids, err := d.eng.tOpChunks.LookupEq("op", int64(opID))
+	if err != nil {
+		return nil, err
+	}
+	type chunk struct {
+		seq int64
+		ids []util.ID
+	}
+	chunks := make([]chunk, 0, len(rids))
+	for _, rid := range rids {
+		row, err := d.eng.tOpChunks.Get(nil, rid)
+		if err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, chunk{row[2].(int64), decodeIDs(row[3].([]byte))})
+	}
+	for i := 1; i < len(chunks); i++ {
+		for j := i; j > 0 && chunks[j].seq < chunks[j-1].seq; j-- {
+			chunks[j], chunks[j-1] = chunks[j-1], chunks[j]
+		}
+	}
+	var out []util.ID
+	for _, c := range chunks {
+		out = append(out, c.ids...)
+	}
+	return out, nil
+}
+
+// writeOpRow persists one operation record inside tx, spilling long char-ID
+// lists into continuation rows so no row outgrows a page.
+func (d *Document) writeOpRow(tx *txn.Txn, op *opRecord) error {
+	payload := encodeIDs(op.CharIDs)
+	first := payload
+	var rest []byte
+	if len(payload) > opChunkBytes {
+		first = payload[:opChunkBytes]
+		rest = payload[opChunkBytes:]
+	}
+	if _, err := d.eng.tOps.Insert(tx, db.Row{
+		int64(op.ID), int64(d.id), op.User, op.Kind, first,
+		int64(op.Ref), op.Created, op.Undone,
+	}); err != nil {
+		return err
+	}
+	for seq := int64(1); len(rest) > 0; seq++ {
+		chunk := rest
+		if len(chunk) > opChunkBytes {
+			chunk = chunk[:opChunkBytes]
+		}
+		rest = rest[len(chunk):]
+		cid := d.eng.ids.Next()
+		if _, err := d.eng.tOpChunks.Insert(tx, db.Row{
+			int64(cid), int64(op.ID), seq, chunk,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setOpUndone flips the undone flag on a persisted op row, leaving the
+// (possibly chunk-prefixed) payload untouched.
+func (d *Document) setOpUndone(tx *txn.Txn, opID util.ID, undone bool) error {
+	row, _, err := d.eng.tOps.GetByPK(tx, int64(opID))
+	if err != nil {
+		return err
+	}
+	row[7] = undone
+	return d.eng.tOps.UpdateByPK(tx, int64(opID), row)
+}
+
+func opFromRow(row db.Row) opRecord {
+	return opRecord{
+		ID:      util.ID(row[0].(int64)),
+		User:    row[2].(string),
+		Kind:    row[3].(string),
+		CharIDs: decodeIDs(row[4].([]byte)),
+		Ref:     util.ID(row[5].(int64)),
+		Created: row[6].(time.Time),
+		Undone:  row[7].(bool),
+	}
+}
+
+// undoable reports whether an operation kind participates in undo history.
+func undoable(kind string) bool {
+	switch kind {
+	case "insert", "paste", "delete", "note", "layout", "layout-remove":
+		return true
+	}
+	return false
+}
+
+// History returns the document's operation log (most recent last). Undo and
+// redo operations appear as their own entries — the paper's metadata
+// gathering keeps the full editing history queryable.
+func (d *Document) History() []OpInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]OpInfo, len(d.ops))
+	for i, op := range d.ops {
+		out[i] = OpInfo{
+			ID: op.ID, User: op.User, Kind: op.Kind, Chars: len(op.CharIDs),
+			Ref: op.Ref, Created: op.Created, Undone: op.Undone,
+		}
+	}
+	return out
+}
+
+// OpInfo is one entry of the editing history.
+type OpInfo struct {
+	ID      util.ID
+	User    string
+	Kind    string
+	Chars   int
+	Ref     util.ID
+	Created time.Time
+	Undone  bool
+}
+
+// UndoLocal undoes user's most recent not-yet-undone operation, even if
+// other users edited afterwards (selective undo). Returns the undo
+// operation's ID.
+func (d *Document) UndoLocal(user string) (util.ID, error) {
+	return d.undo(user, true)
+}
+
+// UndoGlobal undoes the document's most recent operation regardless of
+// author, on behalf of user.
+func (d *Document) UndoGlobal(user string) (util.ID, error) {
+	return d.undo(user, false)
+}
+
+// RedoLocal redoes user's most recently undone operation.
+func (d *Document) RedoLocal(user string) (util.ID, error) {
+	return d.redo(user, true)
+}
+
+// RedoGlobal redoes the document's most recently undone operation.
+func (d *Document) RedoGlobal(user string) (util.ID, error) {
+	return d.redo(user, false)
+}
+
+func (d *Document) undo(user string, local bool) (util.ID, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	var target *opRecord
+	for i := len(d.ops) - 1; i >= 0; i-- {
+		op := &d.ops[i]
+		if !undoable(op.Kind) || op.Undone {
+			continue
+		}
+		if local && op.User != user {
+			continue
+		}
+		target = op
+		break
+	}
+	if target == nil {
+		return util.NilID, ErrNothingToUndo
+	}
+	now := d.eng.clock.Now()
+	undoID := d.eng.ids.Next()
+
+	plan, err := d.inversePlan(target, user, now)
+	if err != nil {
+		return util.NilID, err
+	}
+	err = d.eng.withTxn(func(tx *txn.Txn) error {
+		if err := plan.persist(tx); err != nil {
+			return err
+		}
+		if err := d.setOpUndone(tx, target.ID, true); err != nil {
+			return err
+		}
+		undoOp := opRecord{ID: undoID, User: user, Kind: "undo", CharIDs: plan.affected,
+			Ref: target.ID, Created: now}
+		if err := d.writeOpRow(tx, &undoOp); err != nil {
+			return err
+		}
+		return d.updateDocRowLocked(tx, user, now, d.buf.Len()+plan.sizeDelta)
+	})
+	if err != nil {
+		return util.NilID, err
+	}
+	plan.apply()
+	target.Undone = true
+	d.ops = append(d.ops, opRecord{ID: undoID, User: user, Kind: "undo",
+		CharIDs: plan.affected, Ref: target.ID, Created: now})
+	d.noteAuthorLocked(user, now)
+	d.eng.bus.Publish(awareness.Event{
+		Doc: d.id, Kind: awareness.EvUndo, User: user, OpID: undoID,
+		Name: target.Kind, N: len(target.CharIDs), At: now,
+	})
+	return undoID, nil
+}
+
+func (d *Document) redo(user string, local bool) (util.ID, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Find the most recent unconsumed undo (scoped to user for local).
+	var undoOp *opRecord
+	for i := len(d.ops) - 1; i >= 0; i-- {
+		op := &d.ops[i]
+		if op.Kind != "undo" || op.Undone {
+			continue
+		}
+		if local && op.User != user {
+			continue
+		}
+		undoOp = op
+		break
+	}
+	if undoOp == nil {
+		return util.NilID, ErrNothingToRedo
+	}
+	var target *opRecord
+	for i := range d.ops {
+		if d.ops[i].ID == undoOp.Ref {
+			target = &d.ops[i]
+			break
+		}
+	}
+	if target == nil {
+		return util.NilID, ErrNothingToRedo
+	}
+	now := d.eng.clock.Now()
+	redoID := d.eng.ids.Next()
+
+	// Redo reverts exactly the set the undo flipped (recorded on the undo
+	// op), not the target's full list — characters hidden by other users'
+	// operations stay hidden.
+	plan, err := d.reapplyPlan(target, undoOp.CharIDs, user, now)
+	if err != nil {
+		return util.NilID, err
+	}
+	err = d.eng.withTxn(func(tx *txn.Txn) error {
+		if err := plan.persist(tx); err != nil {
+			return err
+		}
+		if err := d.setOpUndone(tx, target.ID, false); err != nil {
+			return err
+		}
+		if err := d.setOpUndone(tx, undoOp.ID, true); err != nil {
+			return err
+		}
+		redoOp := opRecord{ID: redoID, User: user, Kind: "redo", CharIDs: target.CharIDs,
+			Ref: target.ID, Created: now}
+		if err := d.writeOpRow(tx, &redoOp); err != nil {
+			return err
+		}
+		return d.updateDocRowLocked(tx, user, now, d.buf.Len()+plan.sizeDelta)
+	})
+	if err != nil {
+		return util.NilID, err
+	}
+	plan.apply()
+	target.Undone = false
+	undoOp.Undone = true
+	d.ops = append(d.ops, opRecord{ID: redoID, User: user, Kind: "redo",
+		CharIDs: target.CharIDs, Ref: target.ID, Created: now})
+	d.noteAuthorLocked(user, now)
+	d.eng.bus.Publish(awareness.Event{
+		Doc: d.id, Kind: awareness.EvRedo, User: user, OpID: redoID,
+		Name: target.Kind, N: len(target.CharIDs), At: now,
+	})
+	return redoID, nil
+}
+
+// undoPlan captures the row updates and buffer mutations of an undo/redo,
+// so persistence happens inside the transaction and the buffer is touched
+// only after commit. affected lists the characters the plan actually flips
+// — the undo operation records it so a later redo reverts exactly this set
+// and nothing more (characters hidden by other users' deletes stay hidden).
+type undoPlan struct {
+	persist   func(tx *txn.Txn) error
+	apply     func()
+	sizeDelta int
+	affected  []util.ID
+}
+
+// inversePlan builds the inverse of op: hide inserted chars, restore
+// deleted ones, or flip a span's removed flag.
+func (d *Document) inversePlan(op *opRecord, user string, now time.Time) (*undoPlan, error) {
+	switch op.Kind {
+	case "insert", "paste", "note":
+		return d.visibilityPlan(op.CharIDs, false, user, now)
+	case "delete":
+		return d.visibilityPlan(op.CharIDs, true, user, now)
+	case "layout":
+		return d.spanRemovedPlan(op.Ref, true)
+	case "layout-remove":
+		return d.spanRemovedPlan(op.Ref, false)
+	}
+	return nil, ErrNothingToUndo
+}
+
+// reapplyPlan rebuilds the original effect of op (for redo) over the given
+// character set (the subset the corresponding undo actually flipped).
+func (d *Document) reapplyPlan(op *opRecord, ids []util.ID, user string, now time.Time) (*undoPlan, error) {
+	switch op.Kind {
+	case "insert", "paste", "note":
+		return d.visibilityPlan(ids, true, user, now)
+	case "delete":
+		return d.visibilityPlan(ids, false, user, now)
+	case "layout":
+		return d.spanRemovedPlan(op.Ref, false)
+	case "layout-remove":
+		return d.spanRemovedPlan(op.Ref, true)
+	}
+	return nil, ErrNothingToRedo
+}
+
+// visibilityPlan makes the given characters visible or hidden. Characters
+// already in the desired state (e.g. re-deleted by another user since) are
+// skipped — selective undo over tombstones commutes per character.
+func (d *Document) visibilityPlan(ids []util.ID, visible bool, user string, now time.Time) (*undoPlan, error) {
+	var affected []util.ID
+	for _, id := range ids {
+		ch, ok := d.buf.Char(id)
+		if !ok {
+			continue
+		}
+		if ch.Deleted == !visible {
+			continue // already in desired state
+		}
+		affected = append(affected, id)
+	}
+	delta := len(affected)
+	if !visible {
+		delta = -delta
+	}
+	return &undoPlan{
+		sizeDelta: delta,
+		affected:  affected,
+		persist: func(tx *txn.Txn) error {
+			for _, id := range affected {
+				ch, _ := d.buf.Char(id)
+				upd := *ch
+				if visible {
+					upd.Deleted = false
+					upd.DeletedBy = ""
+					upd.DeletedAt = time.Time{}
+				} else {
+					upd.Deleted = true
+					upd.DeletedBy = user
+					upd.DeletedAt = now
+				}
+				if err := d.eng.tChars.UpdateByPK(tx, int64(id), d.rowFromChar(&upd)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		apply: func() {
+			for _, id := range affected {
+				if visible {
+					d.buf.Undelete(id)
+				} else {
+					d.buf.Delete(id, user, now)
+				}
+			}
+		},
+	}, nil
+}
+
+// spanRemovedPlan flips a span's removed flag.
+func (d *Document) spanRemovedPlan(spanID util.ID, removed bool) (*undoPlan, error) {
+	row, _, err := d.eng.tSpans.GetByPK(nil, int64(spanID))
+	if err != nil {
+		return nil, err
+	}
+	return &undoPlan{
+		persist: func(tx *txn.Txn) error {
+			cur, _, err := d.eng.tSpans.GetByPK(tx, int64(spanID))
+			if err != nil {
+				return err
+			}
+			cur[8] = removed
+			return d.eng.tSpans.UpdateByPK(tx, int64(spanID), cur)
+		},
+		apply: func() { _ = row },
+	}, nil
+}

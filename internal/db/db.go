@@ -1,0 +1,296 @@
+package db
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tendax/internal/storage"
+	"tendax/internal/txn"
+	"tendax/internal/wal"
+)
+
+// Options configures a Database.
+type Options struct {
+	// Dir holds the page file and write-ahead log. Empty means a fully
+	// in-memory database (tests, examples, benchmarks).
+	Dir string
+	// PoolPages is the buffer pool capacity in pages (default 1024).
+	PoolPages int
+	// LockTimeout bounds lock waits (default 10s).
+	LockTimeout time.Duration
+}
+
+const catalogTableID = 1
+
+var catalogSchema = Schema{
+	{Name: "id", Type: TInt},
+	{Name: "name", Type: TString},
+	{Name: "schema", Type: TBytes},
+	{Name: "indexes", Type: TString}, // comma-separated indexed columns
+}
+
+// Database is the TeNDaX embedded database: a transactional, recoverable,
+// multi-user store of typed tables.
+type Database struct {
+	disk storage.DiskManager
+	pool *storage.BufferPool
+	log  *wal.Log
+	tm   *txn.Manager
+
+	mu      sync.Mutex
+	tables  map[string]*Table
+	byID    map[uint64]*Table
+	catalog *Table
+	nextTID uint64
+
+	// Recovery outcome of the last Open, for diagnostics and tests.
+	Recovery *wal.RecoveryStats
+}
+
+// Open opens (creating if empty) a database.
+func Open(opts Options) (*Database, error) {
+	var (
+		disk  storage.DiskManager
+		store wal.Store
+		err   error
+	)
+	if opts.Dir == "" {
+		disk = storage.NewMemDisk()
+		store = wal.NewMemStore()
+	} else {
+		disk, err = storage.OpenFileDisk(filepath.Join(opts.Dir, "pages.db"))
+		if err != nil {
+			return nil, err
+		}
+		store, err = wal.OpenFileStore(filepath.Join(opts.Dir, "wal.log"))
+		if err != nil {
+			disk.Close()
+			return nil, err
+		}
+	}
+	return openWith(disk, store, opts)
+}
+
+// OpenWith opens a database over explicit storage, letting tests inject
+// crash-simulation stores.
+func OpenWith(disk storage.DiskManager, store wal.Store, opts Options) (*Database, error) {
+	return openWith(disk, store, opts)
+}
+
+func openWith(disk storage.DiskManager, store wal.Store, opts Options) (*Database, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 1024
+	}
+	pool := storage.NewBufferPool(disk, opts.PoolPages)
+	log, err := wal.Open(store)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := wal.Recover(log, pool)
+	if err != nil {
+		return nil, fmt.Errorf("db: recovery: %w", err)
+	}
+	tm := txn.NewManager(log, txn.NewLockManager(opts.LockTimeout))
+	tm.SeedIDs(stats.MaxTxnID)
+
+	d := &Database{
+		disk:     disk,
+		pool:     pool,
+		log:      log,
+		tm:       tm,
+		tables:   make(map[string]*Table),
+		byID:     make(map[uint64]*Table),
+		nextTID:  catalogTableID,
+		Recovery: stats,
+	}
+
+	heaps, err := d.discoverHeaps()
+	if err != nil {
+		return nil, err
+	}
+	catHeap := heaps[catalogTableID]
+	if catHeap == nil {
+		catHeap = NewHeap(catalogTableID, pool, log)
+	}
+	d.catalog, err = NewTable(catalogTableID, "__catalog__", catalogSchema, catHeap)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.catalog.RebuildIndexes(); err != nil {
+		return nil, err
+	}
+
+	// Materialise every table in the catalog.
+	var loadErr error
+	err = d.catalog.Scan(nil, func(_ RID, row Row) (bool, error) {
+		id := uint64(row[0].(int64))
+		name := row[1].(string)
+		schema, err := DecodeSchema(row[2].([]byte))
+		if err != nil {
+			loadErr = fmt.Errorf("db: catalog entry %q: %w", name, err)
+			return false, nil
+		}
+		heap := heaps[id]
+		if heap == nil {
+			heap = NewHeap(id, pool, log)
+		}
+		tbl, err := NewTable(id, name, schema, heap)
+		if err != nil {
+			loadErr = err
+			return false, nil
+		}
+		if cols := row[3].(string); cols != "" {
+			for _, c := range strings.Split(cols, ",") {
+				if err := tbl.AddIndex(c); err != nil {
+					loadErr = err
+					return false, nil
+				}
+			}
+		}
+		if err := tbl.RebuildIndexes(); err != nil {
+			loadErr = err
+			return false, nil
+		}
+		d.tables[name] = tbl
+		d.byID[id] = tbl
+		if id > d.nextTID {
+			d.nextTID = id
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return d, nil
+}
+
+// discoverHeaps scans all pages and groups them by owner tag.
+func (d *Database) discoverHeaps() (map[uint64]*Heap, error) {
+	heaps := make(map[uint64]*Heap)
+	n := d.disk.NumPages()
+	for i := uint64(0); i < n; i++ {
+		id := storage.PageID(i)
+		pg, err := d.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		owner := pg.Owner()
+		free := 0
+		if owner != 0 {
+			free = storage.Slotted(pg).FreeSpace()
+		}
+		d.pool.Unpin(id, false)
+		if owner == 0 {
+			continue
+		}
+		h := heaps[owner]
+		if h == nil {
+			h = NewHeap(owner, d.pool, d.log)
+			heaps[owner] = h
+		}
+		h.AttachPage(id, free)
+	}
+	return heaps, nil
+}
+
+// Begin starts a transaction.
+func (d *Database) Begin() (*txn.Txn, error) { return d.tm.Begin() }
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tables[name]
+}
+
+// Tables returns all user table names, sorted.
+func (d *Database) Tables() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateTable creates (or opens, if it already exists) a table. indexCols
+// name columns to maintain secondary indexes on.
+func (d *Database) CreateTable(name string, schema Schema, indexCols ...string) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.tables[name]; ok {
+		return t, nil
+	}
+	d.nextTID++
+	id := d.nextTID
+
+	tx, err := d.tm.Begin()
+	if err != nil {
+		return nil, err
+	}
+	_, err = d.catalog.Insert(tx, Row{int64(id), name, EncodeSchema(schema), strings.Join(indexCols, ",")})
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	heap := NewHeap(id, d.pool, d.log)
+	tbl, err := NewTable(id, name, schema, heap)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range indexCols {
+		if err := tbl.AddIndex(c); err != nil {
+			return nil, err
+		}
+	}
+	d.tables[name] = tbl
+	d.byID[id] = tbl
+	return tbl, nil
+}
+
+// Checkpoint flushes all dirty pages and, when no transaction is in
+// flight, compacts the write-ahead log to a single checkpoint record —
+// bounding both log size and recovery time.
+func (d *Database) Checkpoint() error {
+	if err := d.log.Flush(); err != nil {
+		return err
+	}
+	if err := d.pool.FlushAll(); err != nil {
+		return err
+	}
+	if d.tm.ActiveCount() == 0 {
+		return d.log.Compact()
+	}
+	return nil
+}
+
+// Close checkpoints and releases all resources.
+func (d *Database) Close() error {
+	if err := d.Checkpoint(); err != nil {
+		return err
+	}
+	if err := d.log.Close(); err != nil {
+		return err
+	}
+	return d.disk.Close()
+}
+
+// TxnManager exposes the transaction manager (for subsystems that manage
+// their own transactions).
+func (d *Database) TxnManager() *txn.Manager { return d.tm }
+
+// Pool exposes the buffer pool (for metrics).
+func (d *Database) Pool() *storage.BufferPool { return d.pool }

@@ -1,0 +1,387 @@
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tendax/internal/storage"
+	"tendax/internal/txn"
+	"tendax/internal/wal"
+)
+
+// RID identifies a record: the page it lives on and its slot. RIDs are
+// stable for the lifetime of the record (slots are tombstoned, not reused).
+type RID struct {
+	Page storage.PageID
+	Slot int
+}
+
+// Bytes returns a fixed 12-byte encoding of the RID.
+func (r RID) Bytes() []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[:8], uint64(r.Page))
+	binary.BigEndian.PutUint32(b[8:], uint32(r.Slot))
+	return b[:]
+}
+
+// RIDFromBytes decodes a RID encoded by Bytes.
+func RIDFromBytes(b []byte) (RID, error) {
+	if len(b) < 12 {
+		return RID{}, errors.New("db: short RID encoding")
+	}
+	return RID{
+		Page: storage.PageID(binary.BigEndian.Uint64(b[:8])),
+		Slot: int(binary.BigEndian.Uint32(b[8:12])),
+	}, nil
+}
+
+// String renders the RID for lock keys and diagnostics.
+func (r RID) String() string { return fmt.Sprintf("%d.%d", uint64(r.Page), r.Slot) }
+
+// ErrNotFound reports a missing record.
+var ErrNotFound = errors.New("db: record not found")
+
+// Heap stores variable-length records for one table in slotted pages tagged
+// with the table's owner ID. All mutations are write-ahead logged and
+// registered for transactional undo.
+type Heap struct {
+	tableID uint64
+	pool    *storage.BufferPool
+	log     *wal.Log
+
+	mu    sync.Mutex
+	pages []storage.PageID
+	free  map[storage.PageID]int // free-space estimate per page
+}
+
+// NewHeap creates an empty heap for tableID.
+func NewHeap(tableID uint64, pool *storage.BufferPool, log *wal.Log) *Heap {
+	return &Heap{
+		tableID: tableID,
+		pool:    pool,
+		log:     log,
+		free:    make(map[storage.PageID]int),
+	}
+}
+
+// AttachPage registers an existing page (discovered at open) with the heap.
+func (h *Heap) AttachPage(id storage.PageID, freeSpace int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pages = append(h.pages, id)
+	h.free[id] = freeSpace
+}
+
+// TableID returns the owning table's ID.
+func (h *Heap) TableID() uint64 { return h.tableID }
+
+// Pages returns a snapshot of the heap's page list.
+func (h *Heap) Pages() []storage.PageID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]storage.PageID(nil), h.pages...)
+}
+
+const slotOverhead = 8 // slot entry + headroom
+
+// Insert appends rec to the heap under tx and returns its RID. The new row
+// is exclusively locked by tx until commit/abort.
+func (h *Heap) Insert(tx *txn.Txn, rec []byte) (RID, error) {
+	if len(rec) > storage.PageSize/2 {
+		return RID{}, fmt.Errorf("db: record of %d bytes exceeds max record size", len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	pageID, err := h.pickPageLocked(len(rec) + slotOverhead)
+	if err != nil {
+		return RID{}, err
+	}
+	pg, err := h.pool.Fetch(pageID)
+	if err != nil {
+		return RID{}, err
+	}
+	defer h.pool.Unpin(pageID, true)
+	pg.Lock()
+	defer pg.Unlock()
+
+	sp := storage.Slotted(pg)
+	slot := sp.NumSlots()
+	rid := RID{Page: pageID, Slot: slot}
+	if err := tx.Lock(lockKey(h.tableID, rid), txn.Exclusive); err != nil {
+		return RID{}, err
+	}
+
+	lsn, err := h.log.Append(&wal.Record{
+		Type: wal.RecUpdate, TxnID: tx.ID(), PrevLSN: tx.LastLSN(),
+		Page: uint64(pageID), Slot: uint32(slot), Op: wal.OpInsert,
+		Owner: h.tableID, After: rec,
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	if err := sp.InsertAt(slot, rec); err != nil {
+		return RID{}, err
+	}
+	pg.SetLSN(uint64(lsn))
+	prev := tx.LastLSN()
+	tx.SetLastLSN(lsn)
+	h.free[pageID] = sp.FreeSpace()
+
+	tx.OnUndo(func() error {
+		return h.compensate(tx, &wal.Record{
+			Type: wal.RecCLR, TxnID: tx.ID(), Page: uint64(pageID),
+			Slot: uint32(slot), Op: wal.OpDelete, Owner: h.tableID,
+			Before: rec, UndoNext: prev,
+		})
+	})
+	return rid, nil
+}
+
+// Update replaces the record at rid with rec under tx.
+func (h *Heap) Update(tx *txn.Txn, rid RID, rec []byte) error {
+	if err := tx.Lock(lockKey(h.tableID, rid), txn.Exclusive); err != nil {
+		return err
+	}
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(rid.Page, true)
+
+	// The page latch is never held while taking h.mu (Insert holds h.mu
+	// first, then latches): holding both in opposite orders would deadlock.
+	var before []byte
+	var freeAfter int
+	var prev wal.LSN
+	err = func() error {
+		pg.Lock()
+		defer pg.Unlock()
+		sp := storage.Slotted(pg)
+		cur, err := sp.Get(rid.Slot)
+		if err != nil {
+			return ErrNotFound
+		}
+		before = append([]byte(nil), cur...)
+		lsn, err := h.log.Append(&wal.Record{
+			Type: wal.RecUpdate, TxnID: tx.ID(), PrevLSN: tx.LastLSN(),
+			Page: uint64(rid.Page), Slot: uint32(rid.Slot), Op: wal.OpUpdate,
+			Owner: h.tableID, Before: before, After: rec,
+		})
+		if err != nil {
+			return err
+		}
+		if err := sp.Update(rid.Slot, rec); err != nil {
+			return err
+		}
+		pg.SetLSN(uint64(lsn))
+		prev = tx.LastLSN()
+		tx.SetLastLSN(lsn)
+		freeAfter = sp.FreeSpace()
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.free[rid.Page] = freeAfter
+	h.mu.Unlock()
+
+	tx.OnUndo(func() error {
+		return h.compensate(tx, &wal.Record{
+			Type: wal.RecCLR, TxnID: tx.ID(), Page: uint64(rid.Page),
+			Slot: uint32(rid.Slot), Op: wal.OpUpdate, Owner: h.tableID,
+			Before: rec, After: before, UndoNext: prev,
+		})
+	})
+	return nil
+}
+
+// Delete removes the record at rid under tx.
+func (h *Heap) Delete(tx *txn.Txn, rid RID) error {
+	if err := tx.Lock(lockKey(h.tableID, rid), txn.Exclusive); err != nil {
+		return err
+	}
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(rid.Page, true)
+	pg.Lock()
+	defer pg.Unlock()
+
+	sp := storage.Slotted(pg)
+	cur, err := sp.Get(rid.Slot)
+	if err != nil {
+		return ErrNotFound
+	}
+	before := append([]byte(nil), cur...)
+
+	lsn, err := h.log.Append(&wal.Record{
+		Type: wal.RecUpdate, TxnID: tx.ID(), PrevLSN: tx.LastLSN(),
+		Page: uint64(rid.Page), Slot: uint32(rid.Slot), Op: wal.OpDelete,
+		Owner: h.tableID, Before: before,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sp.Delete(rid.Slot); err != nil {
+		return err
+	}
+	pg.SetLSN(uint64(lsn))
+	prev := tx.LastLSN()
+	tx.SetLastLSN(lsn)
+
+	tx.OnUndo(func() error {
+		return h.compensate(tx, &wal.Record{
+			Type: wal.RecCLR, TxnID: tx.ID(), Page: uint64(rid.Page),
+			Slot: uint32(rid.Slot), Op: wal.OpInsert, Owner: h.tableID,
+			After: before, UndoNext: prev,
+		})
+	})
+	return nil
+}
+
+// Get returns a copy of the record at rid. If tx is non-nil the row is
+// share-locked, so the read waits out in-flight writers of that row.
+func (h *Heap) Get(tx *txn.Txn, rid RID) ([]byte, error) {
+	if tx != nil {
+		if err := tx.Lock(lockKey(h.tableID, rid), txn.Shared); err != nil {
+			return nil, err
+		}
+	}
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	pg.RLock()
+	defer pg.RUnlock()
+	rec, err := storage.Slotted(pg).Get(rid.Slot)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), rec...), nil
+}
+
+// ScanDirty visits every live record without taking transaction locks. It
+// is used for index rebuilds at open (no concurrent transactions) and
+// internal maintenance; fn receives a copy of each record.
+func (h *Heap) ScanDirty(fn func(rid RID, rec []byte) error) error {
+	for _, pageID := range h.Pages() {
+		pg, err := h.pool.Fetch(pageID)
+		if err != nil {
+			return err
+		}
+		pg.RLock()
+		sp := storage.Slotted(pg)
+		type item struct {
+			rid RID
+			rec []byte
+		}
+		var items []item
+		for s := 0; s < sp.NumSlots(); s++ {
+			if rec, err := sp.Get(s); err == nil {
+				items = append(items, item{RID{pageID, s}, append([]byte(nil), rec...)})
+			}
+		}
+		pg.RUnlock()
+		h.pool.Unpin(pageID, false)
+		for _, it := range items {
+			if err := fn(it.rid, it.rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// compensate applies a CLR during runtime rollback: log it, then apply its
+// page mutation. As everywhere, the page latch is released before h.mu is
+// taken.
+func (h *Heap) compensate(tx *txn.Txn, clr *wal.Record) error {
+	lsn, err := h.log.Append(clr)
+	if err != nil {
+		return err
+	}
+	tx.SetLastLSN(lsn)
+	pg, err := h.pool.Fetch(storage.PageID(clr.Page))
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(storage.PageID(clr.Page), true)
+	var freeAfter int
+	err = func() error {
+		pg.Lock()
+		defer pg.Unlock()
+		sp := storage.Slotted(pg)
+		switch clr.Op {
+		case wal.OpDelete:
+			if err := sp.Delete(int(clr.Slot)); err != nil {
+				return fmt.Errorf("db: undo-delete page %d slot %d: %w", clr.Page, clr.Slot, err)
+			}
+		case wal.OpUpdate:
+			if err := sp.Update(int(clr.Slot), clr.After); err != nil {
+				return fmt.Errorf("db: undo-update page %d slot %d: %w", clr.Page, clr.Slot, err)
+			}
+		case wal.OpInsert:
+			if err := sp.InsertAt(int(clr.Slot), clr.After); err != nil {
+				return fmt.Errorf("db: undo-insert page %d slot %d: %w", clr.Page, clr.Slot, err)
+			}
+		}
+		pg.SetLSN(uint64(lsn))
+		freeAfter = sp.FreeSpace()
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.free[storage.PageID(clr.Page)] = freeAfter
+	h.mu.Unlock()
+	return nil
+}
+
+// pickPageLocked returns a page with at least need free bytes, allocating
+// and formatting a new one if necessary. Caller holds h.mu.
+func (h *Heap) pickPageLocked(need int) (storage.PageID, error) {
+	// Check most recent pages first: inserts cluster at the tail.
+	for i := len(h.pages) - 1; i >= 0 && i >= len(h.pages)-4; i-- {
+		id := h.pages[i]
+		if h.free[id] >= need {
+			return id, nil
+		}
+	}
+	// Then probe the free map (bounded), reclaiming space freed by deletes
+	// and relocations in older pages before growing the file.
+	probes := 0
+	for id, free := range h.free {
+		if free >= need {
+			return id, nil
+		}
+		probes++
+		if probes >= 16 {
+			break
+		}
+	}
+	pg, err := h.pool.NewPage()
+	if err != nil {
+		return 0, err
+	}
+	pg.Lock()
+	storage.InitSlotted(pg)
+	pg.SetOwner(h.tableID)
+	pg.Unlock()
+	id := pg.ID()
+	h.pool.Unpin(id, true)
+	h.pages = append(h.pages, id)
+	h.free[id] = storage.PageSize // estimate; corrected on first insert
+	return id, nil
+}
+
+// lockKey names a row for the lock manager.
+func lockKey(table uint64, rid RID) string {
+	return fmt.Sprintf("r/%d/%s", table, rid)
+}

@@ -1,0 +1,360 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tendax/internal/btree"
+	"tendax/internal/storage"
+	"tendax/internal/txn"
+)
+
+// Index is a secondary index over one column. Non-unique: the B-tree key is
+// the order-preserving column encoding followed by the RID, so duplicate
+// column values coexist and scan in RID order.
+type Index struct {
+	Column string
+	col    int
+	tree   *btree.Tree
+}
+
+func indexKey(enc []byte, rid RID) []byte {
+	k := make([]byte, 0, len(enc)+1+12)
+	k = append(k, enc...)
+	k = append(k, 0) // separator keeps prefix scans exact
+	k = append(k, rid.Bytes()...)
+	return k
+}
+
+// Table is a typed, indexed, transactional table.
+type Table struct {
+	id     uint64
+	name   string
+	schema Schema
+	heap   *Heap
+
+	mu      sync.RWMutex // protects indexes and pk
+	pk      *btree.Tree  // primary key (col 0, int64) -> RID
+	indexes []*Index
+}
+
+// NewTable constructs a table over heap. Column 0 must be TInt (the primary
+// key).
+func NewTable(id uint64, name string, schema Schema, heap *Heap) (*Table, error) {
+	if len(schema) == 0 || schema[0].Type != TInt {
+		return nil, fmt.Errorf("db: table %q needs an int64 primary key as column 0", name)
+	}
+	return &Table{
+		id:     id,
+		name:   name,
+		schema: schema,
+		heap:   heap,
+		pk:     btree.New(),
+	}, nil
+}
+
+// ID returns the table's catalog ID.
+func (t *Table) ID() uint64 { return t.id }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// AddIndex declares a secondary index on column name. Call before
+// RebuildIndexes (or on an empty table).
+func (t *Table) AddIndex(column string) error {
+	c := t.schema.Col(column)
+	if c < 0 {
+		return fmt.Errorf("db: table %q has no column %q", t.name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ix := range t.indexes {
+		if ix.Column == column {
+			return nil
+		}
+	}
+	t.indexes = append(t.indexes, &Index{Column: column, col: c, tree: btree.New()})
+	return nil
+}
+
+// RebuildIndexes repopulates the primary key and all secondary indexes from
+// a heap scan. Called at database open; no concurrent transactions run.
+func (t *Table) RebuildIndexes() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pk = btree.New()
+	for _, ix := range t.indexes {
+		ix.tree = btree.New()
+	}
+	return t.heap.ScanDirty(func(rid RID, rec []byte) error {
+		row, err := DecodeRow(t.schema, rec)
+		if err != nil {
+			return fmt.Errorf("db: table %q rid %v: %w", t.name, rid, err)
+		}
+		t.indexRowLocked(row, rid)
+		return nil
+	})
+}
+
+func (t *Table) indexRowLocked(row Row, rid RID) {
+	pkEnc, _ := EncodeKey(TInt, row[0])
+	t.pk.Put(pkEnc, rid)
+	for _, ix := range t.indexes {
+		enc, _ := EncodeKey(t.schema[ix.col].Type, row[ix.col])
+		ix.tree.Put(indexKey(enc, rid), rid)
+	}
+}
+
+func (t *Table) unindexRowLocked(row Row, rid RID) {
+	pkEnc, _ := EncodeKey(TInt, row[0])
+	t.pk.Delete(pkEnc)
+	for _, ix := range t.indexes {
+		enc, _ := EncodeKey(t.schema[ix.col].Type, row[ix.col])
+		ix.tree.Delete(indexKey(enc, rid))
+	}
+}
+
+// Insert adds row under tx, maintaining all indexes (with undo hooks so an
+// abort restores them).
+func (t *Table) Insert(tx *txn.Txn, row Row) (RID, error) {
+	rec, err := EncodeRow(t.schema, row)
+	if err != nil {
+		return RID{}, err
+	}
+	pkEnc, err := EncodeKey(TInt, row[0])
+	if err != nil {
+		return RID{}, err
+	}
+	t.mu.RLock()
+	_, exists := t.pk.Get(pkEnc)
+	t.mu.RUnlock()
+	if exists {
+		return RID{}, fmt.Errorf("db: table %q: duplicate primary key %v", t.name, row[0])
+	}
+	rid, err := t.heap.Insert(tx, rec)
+	if err != nil {
+		return RID{}, err
+	}
+	rowCopy := append(Row(nil), row...)
+	t.mu.Lock()
+	t.indexRowLocked(rowCopy, rid)
+	t.mu.Unlock()
+	tx.OnUndo(func() error {
+		t.mu.Lock()
+		t.unindexRowLocked(rowCopy, rid)
+		t.mu.Unlock()
+		return nil
+	})
+	return rid, nil
+}
+
+// Update replaces the row at rid under tx, maintaining indexes. A row that
+// no longer fits on its page (even after compaction) is relocated to
+// another page; indexes follow the new RID.
+func (t *Table) Update(tx *txn.Txn, rid RID, row Row) error {
+	rec, err := EncodeRow(t.schema, row)
+	if err != nil {
+		return err
+	}
+	oldRec, err := t.heap.Get(tx, rid) // S lock; upgraded to X by heap.Update
+	if err != nil {
+		return err
+	}
+	oldRow, err := DecodeRow(t.schema, oldRec)
+	if err != nil {
+		return err
+	}
+	newRID := rid
+	err = t.heap.Update(tx, rid, rec)
+	if errors.Is(err, storage.ErrPageFull) {
+		if err := t.heap.Delete(tx, rid); err != nil {
+			return err
+		}
+		newRID, err = t.heap.Insert(tx, rec)
+	}
+	if err != nil {
+		return err
+	}
+	newCopy := append(Row(nil), row...)
+	t.mu.Lock()
+	t.unindexRowLocked(oldRow, rid)
+	t.indexRowLocked(newCopy, newRID)
+	t.mu.Unlock()
+	tx.OnUndo(func() error {
+		t.mu.Lock()
+		t.unindexRowLocked(newCopy, newRID)
+		t.indexRowLocked(oldRow, rid)
+		t.mu.Unlock()
+		return nil
+	})
+	return nil
+}
+
+// Delete removes the row at rid under tx, maintaining indexes.
+func (t *Table) Delete(tx *txn.Txn, rid RID) error {
+	oldRec, err := t.heap.Get(tx, rid)
+	if err != nil {
+		return err
+	}
+	oldRow, err := DecodeRow(t.schema, oldRec)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Delete(tx, rid); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.unindexRowLocked(oldRow, rid)
+	t.mu.Unlock()
+	tx.OnUndo(func() error {
+		t.mu.Lock()
+		t.indexRowLocked(oldRow, rid)
+		t.mu.Unlock()
+		return nil
+	})
+	return nil
+}
+
+// Get returns the row at rid (share-locked under tx if tx is non-nil).
+func (t *Table) Get(tx *txn.Txn, rid RID) (Row, error) {
+	rec, err := t.heap.Get(tx, rid)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRow(t.schema, rec)
+}
+
+// GetByPK returns the row whose primary key equals pk.
+func (t *Table) GetByPK(tx *txn.Txn, pk int64) (Row, RID, error) {
+	enc, _ := EncodeKey(TInt, pk)
+	t.mu.RLock()
+	v, ok := t.pk.Get(enc)
+	t.mu.RUnlock()
+	if !ok {
+		return nil, RID{}, ErrNotFound
+	}
+	rid := v.(RID)
+	row, err := t.Get(tx, rid)
+	if err != nil {
+		return nil, RID{}, err
+	}
+	return row, rid, nil
+}
+
+// UpdateByPK replaces the row whose primary key equals pk.
+func (t *Table) UpdateByPK(tx *txn.Txn, pk int64, row Row) error {
+	enc, _ := EncodeKey(TInt, pk)
+	t.mu.RLock()
+	v, ok := t.pk.Get(enc)
+	t.mu.RUnlock()
+	if !ok {
+		return ErrNotFound
+	}
+	return t.Update(tx, v.(RID), row)
+}
+
+// DeleteByPK removes the row whose primary key equals pk.
+func (t *Table) DeleteByPK(tx *txn.Txn, pk int64) error {
+	enc, _ := EncodeKey(TInt, pk)
+	t.mu.RLock()
+	v, ok := t.pk.Get(enc)
+	t.mu.RUnlock()
+	if !ok {
+		return ErrNotFound
+	}
+	return t.Delete(tx, v.(RID))
+}
+
+// LookupEq returns the RIDs of rows whose column equals value, via the
+// secondary index on that column (which must exist).
+func (t *Table) LookupEq(column string, value interface{}) ([]RID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var ix *Index
+	for _, cand := range t.indexes {
+		if cand.Column == column {
+			ix = cand
+			break
+		}
+	}
+	if ix == nil {
+		return nil, fmt.Errorf("db: table %q has no index on %q", t.name, column)
+	}
+	enc, err := EncodeKey(t.schema[ix.col].Type, value)
+	if err != nil {
+		return nil, err
+	}
+	from := append(append([]byte(nil), enc...), 0)
+	to := append(append([]byte(nil), enc...), 1)
+	var out []RID
+	ix.tree.AscendRange(from, to, func(_ []byte, v interface{}) bool {
+		out = append(out, v.(RID))
+		return true
+	})
+	return out, nil
+}
+
+// Scan visits every row. With a non-nil tx each row is share-locked first,
+// so the scan waits out concurrent writers row by row; with nil tx the scan
+// reads the current physical state (read-uncommitted, used for analytics
+// over quiescent stores).
+func (t *Table) Scan(tx *txn.Txn, fn func(rid RID, row Row) (bool, error)) error {
+	stop := false
+	err := t.heap.ScanDirty(func(rid RID, rec []byte) error {
+		if stop {
+			return nil
+		}
+		if tx != nil {
+			if err := tx.Lock(lockKey(t.id, rid), txn.Shared); err != nil {
+				return err
+			}
+			// Re-read under the lock: the record may have changed or died
+			// between the physical scan and lock grant.
+			cur, err := t.heap.Get(tx, rid)
+			if err != nil {
+				return nil // row deleted by a committed writer; skip
+			}
+			rec = cur
+		}
+		row, err := DecodeRow(t.schema, rec)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(rid, row)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			stop = true
+		}
+		return nil
+	})
+	return err
+}
+
+// Count returns the number of live rows (by primary-key index).
+func (t *Table) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pk.Len()
+}
+
+// MaxPK returns the largest primary key, or 0 if the table is empty.
+func (t *Table) MaxPK() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	k := t.pk.Max()
+	if k == nil {
+		return 0
+	}
+	// Reverse the sign-flip order encoding.
+	var v uint64
+	for _, b := range k {
+		v = v<<8 | uint64(b)
+	}
+	return int64(v ^ (1 << 63))
+}

@@ -1,0 +1,204 @@
+// Package editor provides the headless TeNDaX editor model: a cursor over
+// a collaborative document, with typing, deleting, selection, clipboard and
+// undo operations. It substitutes for the paper's GUI editors (Windows,
+// Linux, Mac OS X): every keystroke travels the same client/server/database
+// code path; only pixel rendering is absent.
+package editor
+
+import (
+	"fmt"
+	"strings"
+
+	"tendax/internal/client"
+	"tendax/internal/protocol"
+)
+
+// Editor is one user's headless editor on one document.
+type Editor struct {
+	doc    *client.Doc
+	cursor int
+	sel    int // selection anchor; -1 = no selection
+}
+
+// New opens an editor over a live document replica.
+func New(doc *client.Doc) *Editor {
+	return &Editor{doc: doc, sel: -1}
+}
+
+// Doc returns the underlying replica.
+func (e *Editor) Doc() *client.Doc { return e.doc }
+
+// Cursor returns the cursor position.
+func (e *Editor) Cursor() int { return e.cursor }
+
+// MoveTo places the cursor, clamped to the document, and publishes it for
+// awareness.
+func (e *Editor) MoveTo(pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if l := e.doc.Len(); pos > l {
+		pos = l
+	}
+	e.cursor = pos
+	e.sel = -1
+	e.doc.MoveCursor(pos)
+}
+
+// Type inserts text at the cursor and advances it.
+func (e *Editor) Type(text string) error {
+	if err := e.doc.Insert(e.cursor, text); err != nil {
+		return err
+	}
+	e.cursor += len([]rune(text))
+	return nil
+}
+
+// Backspace deletes the character before the cursor.
+func (e *Editor) Backspace() error {
+	if e.cursor == 0 {
+		return nil
+	}
+	if err := e.doc.Delete(e.cursor-1, 1); err != nil {
+		return err
+	}
+	e.cursor--
+	return nil
+}
+
+// Select marks [from, to) as the selection and parks the cursor at to.
+func (e *Editor) Select(from, to int) error {
+	if from < 0 || to < from || to > e.doc.Len() {
+		return fmt.Errorf("editor: bad selection [%d,%d)", from, to)
+	}
+	e.sel = from
+	e.cursor = to
+	return nil
+}
+
+// Selection returns the selected range, or ok=false.
+func (e *Editor) Selection() (from, n int, ok bool) {
+	if e.sel < 0 || e.sel > e.cursor {
+		return 0, 0, false
+	}
+	return e.sel, e.cursor - e.sel, true
+}
+
+// Copy captures the selection into a clipboard.
+func (e *Editor) Copy() (*protocol.Clip, error) {
+	from, n, ok := e.Selection()
+	if !ok || n == 0 {
+		return nil, fmt.Errorf("editor: nothing selected")
+	}
+	return e.doc.Copy(from, n)
+}
+
+// Cut copies the selection and deletes it.
+func (e *Editor) Cut() (*protocol.Clip, error) {
+	clip, err := e.Copy()
+	if err != nil {
+		return nil, err
+	}
+	from, n, _ := e.Selection()
+	if err := e.doc.Delete(from, n); err != nil {
+		return nil, err
+	}
+	e.cursor = from
+	e.sel = -1
+	return clip, nil
+}
+
+// Paste inserts a clipboard at the cursor.
+func (e *Editor) Paste(clip *protocol.Clip) error {
+	if err := e.doc.Paste(e.cursor, clip); err != nil {
+		return err
+	}
+	e.cursor += len([]rune(clip.Text))
+	return nil
+}
+
+// DeleteSelection removes the selected range.
+func (e *Editor) DeleteSelection() error {
+	from, n, ok := e.Selection()
+	if !ok || n == 0 {
+		return nil
+	}
+	if err := e.doc.Delete(from, n); err != nil {
+		return err
+	}
+	e.cursor = from
+	e.sel = -1
+	return nil
+}
+
+// Bold applies bold layout to the selection.
+func (e *Editor) Bold() error {
+	from, n, ok := e.Selection()
+	if !ok || n == 0 {
+		return fmt.Errorf("editor: nothing selected")
+	}
+	return e.doc.Layout(from, n, "bold", "true")
+}
+
+// Heading marks the selection as a heading of the given level.
+func (e *Editor) Heading(level int) error {
+	from, n, ok := e.Selection()
+	if !ok || n == 0 {
+		return fmt.Errorf("editor: nothing selected")
+	}
+	return e.doc.Layout(from, n, "heading", fmt.Sprintf("%d", level))
+}
+
+// Undo reverts this user's last operation.
+func (e *Editor) Undo() error { return e.doc.Undo(protocol.ScopeLocal) }
+
+// Redo re-applies this user's last undone operation.
+func (e *Editor) Redo() error { return e.doc.Redo(protocol.ScopeLocal) }
+
+// UndoGlobal reverts the document's last operation regardless of author.
+func (e *Editor) UndoGlobal() error { return e.doc.Undo(protocol.ScopeGlobal) }
+
+// Text returns the replica text.
+func (e *Editor) Text() string { return e.doc.Text() }
+
+// Render draws a plain-text view: the text with the cursor marked and a
+// status line listing who else is present (the awareness display).
+func (e *Editor) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	text := []rune(e.doc.Text())
+	cur := e.cursor
+	if cur > len(text) {
+		cur = len(text)
+	}
+	var sb strings.Builder
+	col := 0
+	for i, r := range text {
+		if i == cur {
+			sb.WriteRune('▎')
+			col++
+		}
+		if r == '\n' || col >= width {
+			sb.WriteRune('\n')
+			col = 0
+			if r == '\n' {
+				continue
+			}
+		}
+		sb.WriteRune(r)
+		col++
+	}
+	if cur == len(text) {
+		sb.WriteRune('▎')
+	}
+	sb.WriteString("\n--\n")
+	if present, err := e.doc.Presence(); err == nil {
+		names := make([]string, 0, len(present))
+		for _, p := range present {
+			names = append(names, fmt.Sprintf("%s@%d", p.User, p.Cursor))
+		}
+		fmt.Fprintf(&sb, "present: %s\n", strings.Join(names, " "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,214 @@
+package editor
+
+import (
+	"strings"
+	"testing"
+
+	"tendax/internal/client"
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/server"
+)
+
+func editorOn(t *testing.T) (*Editor, *client.Doc) {
+	t.Helper()
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, nil)
+	srv.SetLogf(func(string, ...interface{}) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		database.Close()
+	})
+	if err := c.Login("writer", ""); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.CreateDocument("edited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d), d
+}
+
+func TestTypeAdvancesCursor(t *testing.T) {
+	ed, d := editorOn(t)
+	base := d.Seq()
+	if err := ed.Type("hello"); err != nil {
+		t.Fatal(err)
+	}
+	if ed.Cursor() != 5 {
+		t.Fatalf("cursor = %d", ed.Cursor())
+	}
+	d.WaitSeq(base+1, 500)
+	if ed.Text() != "hello" {
+		t.Fatalf("text = %q", ed.Text())
+	}
+}
+
+func TestBackspaceAtStartIsNoop(t *testing.T) {
+	ed, _ := editorOn(t)
+	if err := ed.Backspace(); err != nil {
+		t.Fatal(err)
+	}
+	if ed.Cursor() != 0 {
+		t.Fatal("cursor moved")
+	}
+}
+
+func TestSelectionCutPaste(t *testing.T) {
+	ed, d := editorOn(t)
+	base := d.Seq()
+	ed.Type("cut me please")
+	d.WaitSeq(base+1, 500)
+	if err := ed.Select(0, 6); err != nil { // "cut me"
+		t.Fatal(err)
+	}
+	clip, err := ed.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.Text != "cut me" {
+		t.Fatalf("clip = %q", clip.Text)
+	}
+	d.WaitSeq(base+2, 500)
+	if d.Text() != " please" {
+		t.Fatalf("after cut: %q", d.Text())
+	}
+	ed.MoveTo(d.Len())
+	if err := ed.Paste(clip); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitSeq(base+4, 500) // cursor event + paste
+	if d.Text() != " pleasecut me" {
+		t.Fatalf("after paste: %q", d.Text())
+	}
+}
+
+func TestSelectionValidation(t *testing.T) {
+	ed, _ := editorOn(t)
+	if err := ed.Select(-1, 2); err == nil {
+		t.Fatal("negative selection accepted")
+	}
+	if err := ed.Select(2, 1); err == nil {
+		t.Fatal("inverted selection accepted")
+	}
+	if err := ed.Select(0, 99); err == nil {
+		t.Fatal("overlong selection accepted")
+	}
+	if _, err := ed.Copy(); err == nil {
+		t.Fatal("copy without selection succeeded")
+	}
+}
+
+func TestDeleteSelection(t *testing.T) {
+	ed, d := editorOn(t)
+	base := d.Seq()
+	ed.Type("abcdef")
+	d.WaitSeq(base+1, 500)
+	ed.Select(1, 4)
+	if err := ed.DeleteSelection(); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitSeq(base+2, 500)
+	if d.Text() != "aef" {
+		t.Fatalf("after delete selection: %q", d.Text())
+	}
+	if ed.Cursor() != 1 {
+		t.Fatalf("cursor = %d", ed.Cursor())
+	}
+}
+
+func TestHeadingAndBoldRequireSelection(t *testing.T) {
+	ed, d := editorOn(t)
+	base := d.Seq()
+	ed.Type("Title text")
+	d.WaitSeq(base+1, 500)
+	if err := ed.Bold(); err == nil {
+		t.Fatal("bold without selection succeeded")
+	}
+	ed.Select(0, 5)
+	if err := ed.Heading(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ed.Bold(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndoRedoThroughEditor(t *testing.T) {
+	ed, d := editorOn(t)
+	base := d.Seq()
+	ed.Type("first")
+	d.WaitSeq(base+1, 500)
+	ed.MoveTo(5)
+	ed.Type(" second")
+	d.WaitSeq(base+3, 500)
+	if err := ed.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitSeq(base+4, 500)
+	if d.Text() != "first" {
+		t.Fatalf("after undo: %q", d.Text())
+	}
+	if err := ed.Redo(); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitSeq(base+5, 500)
+	if d.Text() != "first second" {
+		t.Fatalf("after redo: %q", d.Text())
+	}
+}
+
+func TestRenderShowsCursorAndWraps(t *testing.T) {
+	ed, d := editorOn(t)
+	base := d.Seq()
+	ed.Type("a long line that should wrap around the narrow view twice at least")
+	d.WaitSeq(base+1, 500)
+	ed.MoveTo(10)
+	view := ed.Render(20)
+	if !strings.Contains(view, "▎") {
+		t.Fatal("no cursor mark")
+	}
+	lines := strings.Split(view, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("narrow render did not wrap:\n%s", view)
+	}
+	if !strings.Contains(view, "present:") {
+		t.Fatal("render lacks presence line")
+	}
+}
+
+func TestMoveToClamps(t *testing.T) {
+	ed, d := editorOn(t)
+	base := d.Seq()
+	ed.Type("abc")
+	d.WaitSeq(base+1, 500)
+	ed.MoveTo(-5)
+	if ed.Cursor() != 0 {
+		t.Fatal("negative cursor not clamped")
+	}
+	ed.MoveTo(99)
+	if ed.Cursor() != 3 {
+		t.Fatalf("overlong cursor = %d", ed.Cursor())
+	}
+}

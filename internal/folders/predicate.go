@@ -1,0 +1,416 @@
+// Package folders implements TeNDaX document organisation: static folders
+// and dynamic folders. A dynamic folder is a virtual folder defined by a
+// predicate over automatically gathered metadata ("all documents this user
+// read within the last week"); its content is fluent — it reflects every
+// committed change on the next evaluation (paper §3, "Dynamic Folders").
+package folders
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tendax/internal/core"
+)
+
+// EvalCtx supplies the metadata a predicate can consult.
+type EvalCtx struct {
+	Now   time.Time
+	Reads func(user string) []core.ReadEvent       // read events of a user
+	Props func(doc core.DocInfo) map[string]string // user-defined properties
+}
+
+// Predicate is a boolean condition over document metadata.
+type Predicate interface {
+	Match(ctx *EvalCtx, doc core.DocInfo) bool
+	// Expr renders the predicate in the parseable s-expression form.
+	Expr() string
+}
+
+// And combines predicates conjunctively.
+type And []Predicate
+
+// Match implements Predicate.
+func (a And) Match(ctx *EvalCtx, doc core.DocInfo) bool {
+	for _, p := range a {
+		if !p.Match(ctx, doc) {
+			return false
+		}
+	}
+	return true
+}
+
+// Expr implements Predicate.
+func (a And) Expr() string { return nary("and", []Predicate(a)) }
+
+// Or combines predicates disjunctively.
+type Or []Predicate
+
+// Match implements Predicate.
+func (o Or) Match(ctx *EvalCtx, doc core.DocInfo) bool {
+	for _, p := range o {
+		if p.Match(ctx, doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr implements Predicate.
+func (o Or) Expr() string { return nary("or", []Predicate(o)) }
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Match implements Predicate.
+func (n Not) Match(ctx *EvalCtx, doc core.DocInfo) bool { return !n.P.Match(ctx, doc) }
+
+// Expr implements Predicate.
+func (n Not) Expr() string { return "(not " + n.P.Expr() + ")" }
+
+// NameContains matches documents whose name contains a substring.
+type NameContains struct{ S string }
+
+// Match implements Predicate.
+func (p NameContains) Match(_ *EvalCtx, doc core.DocInfo) bool {
+	return strings.Contains(strings.ToLower(doc.Name), strings.ToLower(p.S))
+}
+
+// Expr implements Predicate.
+func (p NameContains) Expr() string { return fmt.Sprintf("(name-contains %q)", p.S) }
+
+// CreatorIs matches documents created by a user.
+type CreatorIs struct{ User string }
+
+// Match implements Predicate.
+func (p CreatorIs) Match(_ *EvalCtx, doc core.DocInfo) bool { return doc.Creator == p.User }
+
+// Expr implements Predicate.
+func (p CreatorIs) Expr() string { return fmt.Sprintf("(creator %q)", p.User) }
+
+// AuthorIs matches documents the user has written characters in.
+type AuthorIs struct{ User string }
+
+// Match implements Predicate.
+func (p AuthorIs) Match(_ *EvalCtx, doc core.DocInfo) bool {
+	for _, a := range doc.Authors {
+		if a == p.User {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr implements Predicate.
+func (p AuthorIs) Expr() string { return fmt.Sprintf("(author %q)", p.User) }
+
+// StateIs matches documents in a given state.
+type StateIs struct{ State string }
+
+// Match implements Predicate.
+func (p StateIs) Match(_ *EvalCtx, doc core.DocInfo) bool { return doc.State == p.State }
+
+// Expr implements Predicate.
+func (p StateIs) Expr() string { return fmt.Sprintf("(state %q)", p.State) }
+
+// SizeAtLeast matches documents with at least N visible characters.
+type SizeAtLeast struct{ N int }
+
+// Match implements Predicate.
+func (p SizeAtLeast) Match(_ *EvalCtx, doc core.DocInfo) bool { return doc.Size >= p.N }
+
+// Expr implements Predicate.
+func (p SizeAtLeast) Expr() string { return fmt.Sprintf("(size-min %d)", p.N) }
+
+// SizeAtMost matches documents with at most N visible characters.
+type SizeAtMost struct{ N int }
+
+// Match implements Predicate.
+func (p SizeAtMost) Match(_ *EvalCtx, doc core.DocInfo) bool { return doc.Size <= p.N }
+
+// Expr implements Predicate.
+func (p SizeAtMost) Expr() string { return fmt.Sprintf("(size-max %d)", p.N) }
+
+// CreatedWithin matches documents created within d of evaluation time.
+type CreatedWithin struct{ D time.Duration }
+
+// Match implements Predicate.
+func (p CreatedWithin) Match(ctx *EvalCtx, doc core.DocInfo) bool {
+	return ctx.Now.Sub(doc.Created) <= p.D
+}
+
+// Expr implements Predicate.
+func (p CreatedWithin) Expr() string { return fmt.Sprintf("(created-within %q)", p.D) }
+
+// ModifiedWithin matches documents modified within d of evaluation time.
+type ModifiedWithin struct{ D time.Duration }
+
+// Match implements Predicate.
+func (p ModifiedWithin) Match(ctx *EvalCtx, doc core.DocInfo) bool {
+	return ctx.Now.Sub(doc.Modified) <= p.D
+}
+
+// Expr implements Predicate.
+func (p ModifiedWithin) Expr() string { return fmt.Sprintf("(modified-within %q)", p.D) }
+
+// ReadBy matches documents user read within the window (the paper's
+// flagship example: "all documents a certain user has read within the last
+// week").
+type ReadBy struct {
+	User   string
+	Within time.Duration
+}
+
+// Match implements Predicate.
+func (p ReadBy) Match(ctx *EvalCtx, doc core.DocInfo) bool {
+	if ctx.Reads == nil {
+		return false
+	}
+	for _, ev := range ctx.Reads(p.User) {
+		if ev.Doc == doc.ID && ctx.Now.Sub(ev.At) <= p.Within {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr implements Predicate.
+func (p ReadBy) Expr() string { return fmt.Sprintf("(read-by %q %q)", p.User, p.Within) }
+
+// HasProperty matches documents carrying a user-defined property value.
+type HasProperty struct{ Key, Value string }
+
+// Match implements Predicate.
+func (p HasProperty) Match(ctx *EvalCtx, doc core.DocInfo) bool {
+	if ctx.Props == nil {
+		return false
+	}
+	return ctx.Props(doc)[p.Key] == p.Value
+}
+
+// Expr implements Predicate.
+func (p HasProperty) Expr() string { return fmt.Sprintf("(prop %q %q)", p.Key, p.Value) }
+
+func nary(op string, ps []Predicate) string {
+	parts := make([]string, 0, len(ps)+1)
+	parts = append(parts, op)
+	for _, p := range ps {
+		parts = append(parts, p.Expr())
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// ErrParse reports a malformed predicate expression.
+var ErrParse = errors.New("folders: parse error")
+
+// Parse reads the s-expression form produced by Expr. Grammar:
+//
+//	expr  := "(" op arg* ")"
+//	op    := and | or | not | name-contains | creator | author | state |
+//	         size-min | size-max | created-within | modified-within |
+//	         read-by | prop
+//	arg   := expr | quoted-string | integer
+func Parse(s string) (Predicate, error) {
+	toks, err := tokenize(s)
+	if err != nil {
+		return nil, err
+	}
+	p, rest, err := parseExpr(toks)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing tokens %v", ErrParse, rest)
+	}
+	return p, nil
+}
+
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	for i := 0; i < len(s); {
+		switch c := s[i]; {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("%w: unterminated string", ErrParse)
+			}
+			unq, err := strconv.Unquote(s[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrParse, err)
+			}
+			toks = append(toks, "\x00"+unq) // mark as string literal
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n()", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseExpr(toks []string) (Predicate, []string, error) {
+	if len(toks) == 0 || toks[0] != "(" {
+		return nil, nil, fmt.Errorf("%w: expected (", ErrParse)
+	}
+	toks = toks[1:]
+	if len(toks) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty expression", ErrParse)
+	}
+	op := toks[0]
+	toks = toks[1:]
+
+	switch op {
+	case "and", "or":
+		var kids []Predicate
+		for len(toks) > 0 && toks[0] == "(" {
+			kid, rest, err := parseExpr(toks)
+			if err != nil {
+				return nil, nil, err
+			}
+			kids = append(kids, kid)
+			toks = rest
+		}
+		toks, err := expect(toks, ")")
+		if err != nil {
+			return nil, nil, err
+		}
+		if op == "and" {
+			return And(kids), toks, nil
+		}
+		return Or(kids), toks, nil
+	case "not":
+		kid, rest, err := parseExpr(toks)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest, err = expect(rest, ")")
+		if err != nil {
+			return nil, nil, err
+		}
+		return Not{kid}, rest, nil
+	case "name-contains", "creator", "author", "state":
+		arg, rest, err := strArg(toks)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest, err = expect(rest, ")")
+		if err != nil {
+			return nil, nil, err
+		}
+		switch op {
+		case "name-contains":
+			return NameContains{arg}, rest, nil
+		case "creator":
+			return CreatorIs{arg}, rest, nil
+		case "author":
+			return AuthorIs{arg}, rest, nil
+		default:
+			return StateIs{arg}, rest, nil
+		}
+	case "size-min", "size-max":
+		if len(toks) == 0 {
+			return nil, nil, fmt.Errorf("%w: %s needs an integer", ErrParse, op)
+		}
+		n, err := strconv.Atoi(toks[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrParse, err)
+		}
+		rest, err := expect(toks[1:], ")")
+		if err != nil {
+			return nil, nil, err
+		}
+		if op == "size-min" {
+			return SizeAtLeast{n}, rest, nil
+		}
+		return SizeAtMost{n}, rest, nil
+	case "created-within", "modified-within":
+		arg, rest, err := strArg(toks)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrParse, err)
+		}
+		rest, err = expect(rest, ")")
+		if err != nil {
+			return nil, nil, err
+		}
+		if op == "created-within" {
+			return CreatedWithin{d}, rest, nil
+		}
+		return ModifiedWithin{d}, rest, nil
+	case "read-by":
+		user, rest, err := strArg(toks)
+		if err != nil {
+			return nil, nil, err
+		}
+		win, rest, err := strArg(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := time.ParseDuration(win)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrParse, err)
+		}
+		rest, err = expect(rest, ")")
+		if err != nil {
+			return nil, nil, err
+		}
+		return ReadBy{User: user, Within: d}, rest, nil
+	case "prop":
+		key, rest, err := strArg(toks)
+		if err != nil {
+			return nil, nil, err
+		}
+		val, rest, err := strArg(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest, err = expect(rest, ")")
+		if err != nil {
+			return nil, nil, err
+		}
+		return HasProperty{key, val}, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown operator %q", ErrParse, op)
+	}
+}
+
+func strArg(toks []string) (string, []string, error) {
+	if len(toks) == 0 {
+		return "", nil, fmt.Errorf("%w: missing argument", ErrParse)
+	}
+	t := toks[0]
+	if strings.HasPrefix(t, "\x00") {
+		return t[1:], toks[1:], nil
+	}
+	if t == "(" || t == ")" {
+		return "", nil, fmt.Errorf("%w: expected string argument", ErrParse)
+	}
+	return t, toks[1:], nil
+}
+
+func expect(toks []string, tok string) ([]string, error) {
+	if len(toks) == 0 || toks[0] != tok {
+		return nil, fmt.Errorf("%w: expected %q", ErrParse, tok)
+	}
+	return toks[1:], nil
+}

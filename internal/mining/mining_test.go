@@ -1,0 +1,238 @@
+package mining
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/lineage"
+	"tendax/internal/util"
+)
+
+func fixture(t *testing.T) (*core.Engine, *util.FakeClock) {
+	t.Helper()
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { database.Close() })
+	clock := util.NewFakeClock(time.Unix(1_000_000, 0).UTC(), time.Second)
+	eng, err := core.NewEngine(database, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, clock
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! The answer is 42 — naïve?")
+	want := []string{"hello", "world", "the", "answer", "is", "42", "naïve"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty text produced tokens")
+	}
+}
+
+func TestCorpusTFIDFAndTopTerms(t *testing.T) {
+	eng, _ := fixture(t)
+	d1, _ := eng.CreateDocument("alice", "databases")
+	d1.InsertText("alice", 0, "database transactions database recovery database index")
+	d2, _ := eng.CreateDocument("alice", "editors")
+	d2.InsertText("alice", 0, "editor collaboration editor awareness cursor")
+	d3, _ := eng.CreateDocument("alice", "mixed")
+	d3.InsertText("alice", 0, "the editor stores text in a database")
+
+	c, err := BuildCorpus(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := c.TopTerms(d1.ID(), 1)
+	if len(top) != 1 || top[0].Term != "database" {
+		t.Fatalf("TopTerms(d1) = %v", top)
+	}
+	// d2's characteristic vocabulary: terms unique to it ("awareness",
+	// "collaboration", "cursor") plus the frequent "editor" outrank terms
+	// shared with the rest of the corpus.
+	top2 := c.TopTerms(d2.ID(), 4)
+	seen := map[string]bool{}
+	for _, wt := range top2 {
+		seen[wt.Term] = true
+	}
+	if !seen["editor"] || !seen["awareness"] {
+		t.Fatalf("TopTerms(d2) = %v", top2)
+	}
+	// Similarity: mixed doc relates to both, but d1/d2 are dissimilar.
+	s12 := c.Similarity(d1.ID(), d2.ID())
+	s13 := c.Similarity(d1.ID(), d3.ID())
+	s23 := c.Similarity(d2.ID(), d3.ID())
+	if s13 <= s12 || s23 <= s12 {
+		t.Fatalf("similarities: d1d2=%f d1d3=%f d2d3=%f", s12, s13, s23)
+	}
+	sim := c.MostSimilar(d3.ID(), 2)
+	if len(sim) != 2 {
+		t.Fatalf("MostSimilar = %v", sim)
+	}
+}
+
+func TestExtractFeatures(t *testing.T) {
+	eng, clock := fixture(t)
+	a, _ := eng.CreateDocument("alice", "active-doc")
+	a.InsertText("alice", 0, "some words here")
+	a.InsertText("bob", 0, "more ")
+	a.RecordRead("carol")
+	b, _ := eng.CreateDocument("dave", "quiet-doc")
+	b.InsertText("dave", 0, "xy")
+
+	// Citation: b pastes from a.
+	clip, _ := a.Copy("dave", 0, 4)
+	b.Paste("dave", 0, clip)
+
+	g, err := lineage.Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := Extract(eng, g, clock.Peek())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 {
+		t.Fatalf("features for %d docs", len(feats))
+	}
+	var fa, fb *Features
+	for i := range feats {
+		switch feats[i].Doc {
+		case a.ID():
+			fa = &feats[i]
+		case b.ID():
+			fb = &feats[i]
+		}
+	}
+	if fa.Authors != 2 || fb.Authors != 1 {
+		t.Fatalf("authors: %v / %v", fa.Authors, fb.Authors)
+	}
+	if fa.Citations != 1 || fb.Citations != 0 {
+		t.Fatalf("citations: %v / %v", fa.Citations, fb.Citations)
+	}
+	if fa.Reads != 1 {
+		t.Fatalf("reads: %v", fa.Reads)
+	}
+	if fa.Size != 20 {
+		t.Fatalf("size: %v", fa.Size)
+	}
+}
+
+func TestLayoutSeparatesClusters(t *testing.T) {
+	// Two synthetic metadata clusters must stay separated in the plane.
+	var feats []Features
+	for i := 0; i < 10; i++ {
+		feats = append(feats, Features{
+			Doc: util.ID(i + 1), Name: "small",
+			Size: 10 + float64(i), AgeDays: 1, Authors: 1, Edits: 2,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		feats = append(feats, Features{
+			Doc: util.ID(i + 100), Name: "large",
+			Size: 10000 + float64(i)*10, AgeDays: 300, Authors: 8, Edits: 500,
+		})
+	}
+	pts := Layout(feats)
+	if len(pts) != 20 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Cluster centroids must be far apart relative to intra-cluster spread.
+	cx := func(from, to int) (x, y float64) {
+		for i := from; i < to; i++ {
+			x += pts[i].X
+			y += pts[i].Y
+		}
+		n := float64(to - from)
+		return x / n, y / n
+	}
+	x1, y1 := cx(0, 10)
+	x2, y2 := cx(10, 20)
+	dCent := math.Hypot(x1-x2, y1-y2)
+	if dCent < 0.3 {
+		t.Fatalf("clusters not separated: centroid distance %f", dCent)
+	}
+	pres := NeighbourPreservation(feats, pts, 3)
+	if pres < 0.5 {
+		t.Fatalf("neighbour preservation %f too low", pres)
+	}
+}
+
+func TestLayoutDegenerateInputs(t *testing.T) {
+	if pts := Layout(nil); pts != nil {
+		t.Fatal("nil input produced points")
+	}
+	one := []Features{{Doc: 1, Name: "only", Size: 5}}
+	pts := Layout(one)
+	if len(pts) != 1 {
+		t.Fatal("single doc not laid out")
+	}
+	// Identical docs must not NaN.
+	same := []Features{{Doc: 1, Size: 5}, {Doc: 2, Size: 5}, {Doc: 3, Size: 5}}
+	for _, p := range Layout(same) {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatal("NaN coordinates for degenerate input")
+		}
+	}
+}
+
+func TestScatterRendering(t *testing.T) {
+	pts := []Point{
+		{Doc: 1, Name: "alpha", X: 0, Y: 0},
+		{Doc: 2, Name: "beta", X: 1, Y: 1},
+		{Doc: 3, Name: "gamma", X: 0.5, Y: 0.5},
+	}
+	s := Scatter(pts, 40, 10)
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") || !strings.Contains(s, "g") {
+		t.Fatalf("scatter missing marks:\n%s", s)
+	}
+	if !strings.Contains(s, "3 documents") {
+		t.Fatal("scatter missing caption")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 13 { // top border + 10 rows + bottom border + caption
+		t.Fatalf("scatter has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestEndToEndVisualMining(t *testing.T) {
+	eng, clock := fixture(t)
+	// A small document space with three distinct activity profiles.
+	for i := 0; i < 5; i++ {
+		d, _ := eng.CreateDocument("alice", "memo")
+		d.InsertText("alice", 0, "short memo")
+	}
+	for i := 0; i < 5; i++ {
+		d, _ := eng.CreateDocument("bob", "paper")
+		d.InsertText("bob", 0, strings.Repeat("long academic text ", 50))
+		d.InsertText("carol", 0, "co-authored ")
+		d.RecordRead("alice")
+		d.RecordRead("dave")
+	}
+	g, _ := lineage.Build(eng)
+	feats, err := Extract(eng, g, clock.Peek())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Layout(feats)
+	if len(pts) != 10 {
+		t.Fatalf("%d points", len(pts))
+	}
+	out := Scatter(pts, 60, 16)
+	if !strings.Contains(out, "10 documents") {
+		t.Fatal("scatter caption wrong")
+	}
+}

@@ -1,0 +1,297 @@
+// Package mining implements the TeNDaX information-visualization and
+// text-mining plug-ins: per-document feature extraction, a PCA-based 2-D
+// embedding of the document space with an ASCII scatter rendering
+// (regenerating the information content of the paper's Figure 2), and
+// TF-IDF text statistics with document similarity.
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"tendax/internal/core"
+	"tendax/internal/lineage"
+	"tendax/internal/util"
+)
+
+// Features is the numeric profile of one document, extracted from the
+// automatically gathered metadata dimensions.
+type Features struct {
+	Doc       util.ID
+	Name      string
+	Size      float64 // visible characters
+	AgeDays   float64 // since creation
+	Authors   float64 // distinct authors
+	Edits     float64 // logged operations
+	Citations float64 // documents that pasted from it
+	Reads     float64 // recorded read events
+}
+
+// Vector returns the feature values in fixed order.
+func (f Features) Vector() []float64 {
+	return []float64{f.Size, f.AgeDays, f.Authors, f.Edits, f.Citations, f.Reads}
+}
+
+// FeatureNames labels Vector components.
+func FeatureNames() []string {
+	return []string{"size", "age_days", "authors", "edits", "citations", "reads"}
+}
+
+// Extract computes features for every document. A nil graph skips citation
+// counts.
+func Extract(eng *core.Engine, g *lineage.Graph, now time.Time) ([]Features, error) {
+	docs, err := eng.ListDocuments()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Features, 0, len(docs))
+	for _, d := range docs {
+		f := Features{
+			Doc:     d.ID,
+			Name:    d.Name,
+			Size:    float64(d.Size),
+			AgeDays: now.Sub(d.Created).Hours() / 24,
+			Authors: float64(len(d.Authors)),
+			Edits:   float64(eng.OpCountOf(d.ID)),
+		}
+		if g != nil {
+			f.Citations = float64(g.CitationCount(d.ID))
+		}
+		if reads, err := eng.ReadEventsOf(d.ID); err == nil {
+			f.Reads = float64(len(reads))
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Point is a document placed in the 2-D visualization plane.
+type Point struct {
+	Doc  util.ID
+	Name string
+	X, Y float64 // normalised to [0,1]
+}
+
+// Layout embeds the documents in 2-D with PCA over standardised features:
+// the first two principal components become the axes. Documents with
+// similar metadata profiles land near each other, giving the "graphical
+// overview of all documents" of Figure 2.
+func Layout(feats []Features) []Point {
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	dim := len(feats[0].Vector())
+	// Standardise columns (zero mean, unit variance).
+	data := make([][]float64, n)
+	for i, f := range feats {
+		data[i] = f.Vector()
+	}
+	for j := 0; j < dim; j++ {
+		mean, std := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			mean += data[i][j]
+		}
+		mean /= float64(n)
+		for i := 0; i < n; i++ {
+			d := data[i][j] - mean
+			std += d * d
+		}
+		std = math.Sqrt(std / float64(n))
+		if std == 0 {
+			std = 1
+		}
+		for i := 0; i < n; i++ {
+			data[i][j] = (data[i][j] - mean) / std
+		}
+	}
+	pc1 := principalComponent(data, nil)
+	pc2 := principalComponent(data, pc1)
+
+	pts := make([]Point, n)
+	var minX, maxX, minY, maxY float64 = math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)
+	for i := range data {
+		x := dot(data[i], pc1)
+		y := dot(data[i], pc2)
+		pts[i] = Point{Doc: feats[i].Doc, Name: feats[i].Name, X: x, Y: y}
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	// Normalise to the unit square.
+	sx, sy := maxX-minX, maxY-minY
+	if sx == 0 {
+		sx = 1
+	}
+	if sy == 0 {
+		sy = 1
+	}
+	for i := range pts {
+		pts[i].X = (pts[i].X - minX) / sx
+		pts[i].Y = (pts[i].Y - minY) / sy
+	}
+	return pts
+}
+
+// principalComponent finds the dominant eigenvector of the data's
+// covariance by power iteration, after deflating the optional prior
+// component.
+func principalComponent(data [][]float64, deflate []float64) []float64 {
+	if len(data) == 0 {
+		return nil
+	}
+	dim := len(data[0])
+	rows := make([][]float64, len(data))
+	for i, r := range data {
+		v := append([]float64(nil), r...)
+		if deflate != nil {
+			c := dot(v, deflate)
+			for j := range v {
+				v[j] -= c * deflate[j]
+			}
+		}
+		rows[i] = v
+	}
+	// Deterministic start vector.
+	v := make([]float64, dim)
+	for j := range v {
+		v[j] = 1 / math.Sqrt(float64(dim))
+	}
+	for iter := 0; iter < 64; iter++ {
+		next := make([]float64, dim)
+		for _, r := range rows {
+			c := dot(r, v)
+			for j := range next {
+				next[j] += c * r[j]
+			}
+		}
+		norm := math.Sqrt(dot(next, next))
+		if norm < 1e-12 {
+			return v
+		}
+		for j := range next {
+			next[j] /= norm
+		}
+		delta := 0.0
+		for j := range next {
+			delta += math.Abs(next[j] - v[j])
+		}
+		v = next
+		if delta < 1e-10 {
+			break
+		}
+	}
+	return v
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// NeighbourPreservation measures layout quality: for each document, the
+// fraction of its k nearest neighbours in feature space that remain among
+// its k nearest in the plane (1.0 = perfect preservation).
+func NeighbourPreservation(feats []Features, pts []Point, k int) float64 {
+	n := len(feats)
+	if n <= k || k <= 0 {
+		return 1
+	}
+	featNbrs := make([]map[int]bool, n)
+	planeNbrs := make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		featNbrs[i] = nearest(n, k, func(j int) float64 {
+			return dist(feats[i].Vector(), feats[j].Vector())
+		}, i)
+		planeNbrs[i] = nearest(n, k, func(j int) float64 {
+			dx, dy := pts[i].X-pts[j].X, pts[i].Y-pts[j].Y
+			return dx*dx + dy*dy
+		}, i)
+	}
+	total := 0
+	kept := 0
+	for i := 0; i < n; i++ {
+		for j := range featNbrs[i] {
+			total++
+			if planeNbrs[i][j] {
+				kept++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(kept) / float64(total)
+}
+
+func nearest(n, k int, distTo func(j int) float64, self int) map[int]bool {
+	type cand struct {
+		j int
+		d float64
+	}
+	cands := make([]cand, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j == self {
+			continue
+		}
+		cands = append(cands, cand{j, distTo(j)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	out := make(map[int]bool, k)
+	for i := 0; i < k && i < len(cands); i++ {
+		out[cands[i].j] = true
+	}
+	return out
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Scatter renders the layout as an ASCII scatter plot of w×h cells; each
+// document is marked with the first letter of its name, collisions with '*'.
+func Scatter(pts []Point, w, h int) string {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range pts {
+		x := int(p.X * float64(w-1))
+		y := int((1 - p.Y) * float64(h-1))
+		mark := byte('*')
+		if p.Name != "" {
+			mark = p.Name[0]
+		}
+		if grid[y][x] != ' ' {
+			mark = '*'
+		}
+		grid[y][x] = mark
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	fmt.Fprintf(&sb, "%d documents; axes = first two principal components of %v\n",
+		len(pts), FeatureNames())
+	return sb.String()
+}

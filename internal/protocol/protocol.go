@@ -1,0 +1,203 @@
+// Package protocol defines the TeNDaX client/server wire format: newline-
+// delimited JSON messages over TCP. Editors on any operating system speak
+// it — the paper's demo ran the same editor on Windows, Linux and Mac OS X
+// against one database server.
+//
+// Three message types flow on a connection: requests (client → server),
+// responses (server → client, correlated by ID), and pushes (server →
+// client, uncorrelated: committed operations and presence changes on
+// subscribed documents).
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Message type discriminators.
+const (
+	TypeRequest  = "req"
+	TypeResponse = "resp"
+	TypePush     = "push"
+)
+
+// Operations.
+const (
+	OpLogin       = "login"
+	OpCreateDoc   = "create"
+	OpOpenDoc     = "open"
+	OpListDocs    = "list"
+	OpInsert      = "insert"
+	OpAppend      = "append"
+	OpDelete      = "delete"
+	OpCopy        = "copy"
+	OpPaste       = "paste"
+	OpUndo        = "undo"
+	OpRedo        = "redo"
+	OpLayout      = "layout"
+	OpNote        = "note"
+	OpVersion     = "version"
+	OpVersions    = "versions"
+	OpVersionText = "versiontext"
+	OpText        = "text"
+	OpRead        = "read"
+	OpSubscribe   = "subscribe"
+	OpUnsubscribe = "unsubscribe"
+	OpCursor      = "cursor"
+	OpPresence    = "presence"
+	OpHistory     = "history"
+)
+
+// Undo/redo scopes.
+const (
+	ScopeLocal  = "local"
+	ScopeGlobal = "global"
+)
+
+// Clip is a clipboard on the wire.
+type Clip struct {
+	Text     string   `json:"text"`
+	SrcDoc   uint64   `json:"srcDoc,omitempty"`
+	SrcChars []uint64 `json:"srcChars,omitempty"`
+}
+
+// DocInfo is document metadata on the wire.
+type DocInfo struct {
+	ID         uint64   `json:"id"`
+	Name       string   `json:"name"`
+	Creator    string   `json:"creator"`
+	Size       int      `json:"size"`
+	State      string   `json:"state"`
+	Authors    []string `json:"authors,omitempty"`
+	ModifiedNS int64    `json:"modifiedNs"`
+}
+
+// Version is a document version on the wire.
+type Version struct {
+	ID     uint64 `json:"id"`
+	Name   string `json:"name"`
+	Author string `json:"author"`
+	AtNS   int64  `json:"atNs"`
+}
+
+// Presence is one present user on the wire.
+type Presence struct {
+	User   string `json:"user"`
+	Cursor int    `json:"cursor"`
+}
+
+// Event is a pushed awareness event.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Doc  uint64 `json:"doc"`
+	Kind string `json:"kind"`
+	User string `json:"user"`
+	Pos  int    `json:"pos"`
+	Text string `json:"text,omitempty"`
+	N    int    `json:"n,omitempty"`
+	Name string `json:"name,omitempty"`
+	AtNS int64  `json:"atNs"`
+}
+
+// HistoryOp is one editing-history entry on the wire.
+type HistoryOp struct {
+	ID     uint64 `json:"id"`
+	User   string `json:"user"`
+	Kind   string `json:"kind"`
+	Chars  int    `json:"chars"`
+	Undone bool   `json:"undone"`
+}
+
+// Message is the single wire envelope for requests, responses and pushes.
+type Message struct {
+	Type string `json:"type"`
+	ID   int64  `json:"id,omitempty"` // request/response correlation
+	Op   string `json:"op,omitempty"`
+
+	// Request fields.
+	User     string `json:"user,omitempty"`
+	Password string `json:"password,omitempty"`
+	Doc      uint64 `json:"doc,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Text     string `json:"text,omitempty"`
+	Pos      int    `json:"pos,omitempty"`
+	N        int    `json:"n,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	Value    string `json:"value,omitempty"`
+	Scope    string `json:"scope,omitempty"`
+	Clip     *Clip  `json:"clip,omitempty"`
+	Version  uint64 `json:"version,omitempty"`
+
+	// Response fields.
+	OK       bool        `json:"ok,omitempty"`
+	Err      string      `json:"err,omitempty"`
+	Seq      uint64      `json:"seq,omitempty"`
+	OpID     uint64      `json:"opId,omitempty"`
+	Docs     []DocInfo   `json:"docs,omitempty"`
+	Versions []Version   `json:"versions,omitempty"`
+	Present  []Presence  `json:"present,omitempty"`
+	History  []HistoryOp `json:"history,omitempty"`
+
+	// Push payload.
+	Event *Event `json:"event,omitempty"`
+}
+
+// Codec frames messages over a stream: one JSON document per line.
+type Codec struct {
+	r  *bufio.Reader
+	w  *bufio.Writer
+	wm sync.Mutex
+	c  io.Closer
+}
+
+// NewCodec wraps a connection.
+func NewCodec(rw io.ReadWriteCloser) *Codec {
+	return &Codec{
+		r: bufio.NewReaderSize(rw, 64*1024),
+		w: bufio.NewWriterSize(rw, 64*1024),
+		c: rw,
+	}
+}
+
+// Send writes one message (safe for concurrent use).
+func (c *Codec) Send(m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal: %w", err)
+	}
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads the next message, blocking.
+func (c *Codec) Recv() (*Message, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("protocol: unmarshal %q: %w", firstN(string(line), 80), err)
+	}
+	return &m, nil
+}
+
+// Close tears the connection down.
+func (c *Codec) Close() error { return c.c.Close() }
+
+func firstN(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,320 @@
+// Package search implements the TeNDaX meta-data-based searching and
+// ranking plug-in: documents and parts of documents are found by content,
+// by structure (headings), or by creation-process metadata, and results are
+// ranked by relevance, recency, citations (lineage in-degree) or reads —
+// the paper's "most cited" / "newest" ranking options.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"tendax/internal/core"
+	"tendax/internal/folders"
+	"tendax/internal/lineage"
+	"tendax/internal/mining"
+	"tendax/internal/util"
+)
+
+// Ranker selects the result ordering.
+type Ranker string
+
+// Ranking options.
+const (
+	ByRelevance Ranker = "relevance"
+	ByNewest    Ranker = "newest"
+	ByMostCited Ranker = "most-cited"
+	ByMostRead  Ranker = "most-read"
+)
+
+// Query describes one search.
+type Query struct {
+	Terms      []string          // content terms (AND semantics)
+	InHeadings bool              // restrict matching to heading spans
+	Filter     folders.Predicate // optional metadata filter
+	Rank       Ranker            // default ByRelevance
+	Limit      int               // 0 = no limit
+}
+
+// Result is one ranked hit.
+type Result struct {
+	Doc     core.DocInfo
+	Score   float64
+	Snippet string
+}
+
+// Index is the searchable view over an engine: an inverted index over
+// content plus heading text, refreshed on demand.
+type Index struct {
+	eng      *core.Engine
+	postings map[string]map[util.ID]int // term -> doc -> tf
+	headings map[util.ID]string         // doc -> concatenated heading text
+	lengths  map[util.ID]int
+	snippets map[util.ID]string
+	docs     map[util.ID]core.DocInfo
+	cites    map[util.ID]int
+	reads    map[util.ID]int
+}
+
+// BuildIndex constructs the index over the current document set.
+func BuildIndex(eng *core.Engine) (*Index, error) {
+	ix := &Index{
+		eng:      eng,
+		postings: make(map[string]map[util.ID]int),
+		headings: make(map[util.ID]string),
+		lengths:  make(map[util.ID]int),
+		snippets: make(map[util.ID]string),
+		docs:     make(map[util.ID]core.DocInfo),
+		cites:    make(map[util.ID]int),
+		reads:    make(map[util.ID]int),
+	}
+	infos, err := eng.ListDocuments()
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range infos {
+		if err := ix.indexDoc(info); err != nil {
+			return nil, err
+		}
+	}
+	g, err := lineage.Build(eng)
+	if err != nil {
+		return nil, err
+	}
+	for id := range ix.docs {
+		ix.cites[id] = g.CitationCount(id)
+		if evs, err := eng.ReadEventsOf(id); err == nil {
+			ix.reads[id] = len(evs)
+		}
+	}
+	return ix, nil
+}
+
+func (ix *Index) indexDoc(info core.DocInfo) error {
+	d, err := ix.eng.OpenDocument(info.ID)
+	if err != nil {
+		return err
+	}
+	text := d.Text()
+	toks := mining.Tokenize(text)
+	for _, t := range toks {
+		m := ix.postings[t]
+		if m == nil {
+			m = make(map[util.ID]int)
+			ix.postings[t] = m
+		}
+		m[info.ID]++
+	}
+	ix.lengths[info.ID] = len(toks)
+	ix.snippets[info.ID] = firstN(text, 80)
+	ix.docs[info.ID] = d.Info()
+
+	// Heading text for structure search.
+	spans, err := d.Spans()
+	if err != nil {
+		return err
+	}
+	var hb strings.Builder
+	for _, s := range spans {
+		if s.Kind != core.SpanHeading {
+			continue
+		}
+		from, to := d.SpanRange(s)
+		runes := []rune(text)
+		if from < len(runes) && to <= len(runes) && from < to {
+			hb.WriteString(string(runes[from:to]))
+			hb.WriteString(" ")
+		}
+	}
+	ix.headings[info.ID] = strings.ToLower(hb.String())
+	return nil
+}
+
+// Refresh re-indexes one document after it changed.
+func (ix *Index) Refresh(doc util.ID) error {
+	// Drop stale postings for the doc.
+	for t, m := range ix.postings {
+		delete(m, doc)
+		if len(m) == 0 {
+			delete(ix.postings, t)
+		}
+	}
+	info, err := ix.eng.DocInfoByID(doc)
+	if err != nil {
+		return err
+	}
+	return ix.indexDoc(info)
+}
+
+// DocCount returns the number of indexed documents.
+func (ix *Index) DocCount() int { return len(ix.docs) }
+
+// Search executes a query.
+func (ix *Index) Search(q Query) ([]Result, error) {
+	if q.Rank == "" {
+		q.Rank = ByRelevance
+	}
+	// Candidate set: documents matching every term (in headings if asked),
+	// or all documents for a pure metadata query.
+	var cands map[util.ID]float64
+	if len(q.Terms) == 0 {
+		cands = make(map[util.ID]float64, len(ix.docs))
+		for id := range ix.docs {
+			cands[id] = 0
+		}
+	} else {
+		for i, term := range q.Terms {
+			term = strings.ToLower(term)
+			var matches map[util.ID]float64
+			if q.InHeadings {
+				matches = map[util.ID]float64{}
+				for id, htext := range ix.headings {
+					if strings.Contains(htext, term) {
+						matches[id] = 1
+					}
+				}
+			} else {
+				matches = map[util.ID]float64{}
+				for id, tf := range ix.postings[term] {
+					matches[id] = ix.bm25(term, id, tf)
+				}
+			}
+			if i == 0 {
+				cands = matches
+			} else {
+				for id := range cands {
+					if w, ok := matches[id]; ok {
+						cands[id] += w
+					} else {
+						delete(cands, id)
+					}
+				}
+			}
+		}
+	}
+
+	// Metadata filter.
+	var ctx *folders.EvalCtx
+	if q.Filter != nil {
+		ctx = &folders.EvalCtx{
+			Now: ix.eng.Clock().Now(),
+			Reads: func(user string) []core.ReadEvent {
+				evs, err := ix.eng.ReadsByUser(user)
+				if err != nil {
+					return nil
+				}
+				return evs
+			},
+			Props: func(doc core.DocInfo) map[string]string {
+				d, err := ix.eng.OpenDocument(doc.ID)
+				if err != nil {
+					return nil
+				}
+				p, _ := d.Properties()
+				return p
+			},
+		}
+	}
+
+	out := make([]Result, 0, len(cands))
+	for id, score := range cands {
+		info := ix.docs[id]
+		if q.Filter != nil && !q.Filter.Match(ctx, info) {
+			continue
+		}
+		out = append(out, Result{Doc: info, Score: score, Snippet: ix.snippets[id]})
+	}
+	ix.rank(out, q.Rank)
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// bm25 is a BM25-flavoured term weight (k1 = 1.2, b = 0.75).
+func (ix *Index) bm25(term string, doc util.ID, tf int) float64 {
+	const k1, b = 1.2, 0.75
+	df := len(ix.postings[term])
+	n := len(ix.docs)
+	if df == 0 || n == 0 {
+		return 0
+	}
+	idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+	avgLen := 0.0
+	for _, l := range ix.lengths {
+		avgLen += float64(l)
+	}
+	avgLen /= float64(n)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	norm := float64(tf) * (k1 + 1) /
+		(float64(tf) + k1*(1-b+b*float64(ix.lengths[doc])/avgLen))
+	return idf * norm
+}
+
+func (ix *Index) rank(rs []Result, r Ranker) {
+	switch r {
+	case ByNewest:
+		sort.Slice(rs, func(i, j int) bool {
+			if !rs[i].Doc.Modified.Equal(rs[j].Doc.Modified) {
+				return rs[i].Doc.Modified.After(rs[j].Doc.Modified)
+			}
+			return rs[i].Doc.ID < rs[j].Doc.ID
+		})
+	case ByMostCited:
+		sort.Slice(rs, func(i, j int) bool {
+			ci, cj := ix.cites[rs[i].Doc.ID], ix.cites[rs[j].Doc.ID]
+			if ci != cj {
+				return ci > cj
+			}
+			return rs[i].Doc.ID < rs[j].Doc.ID
+		})
+		for i := range rs {
+			rs[i].Score = float64(ix.cites[rs[i].Doc.ID])
+		}
+	case ByMostRead:
+		sort.Slice(rs, func(i, j int) bool {
+			ri, rj := ix.reads[rs[i].Doc.ID], ix.reads[rs[j].Doc.ID]
+			if ri != rj {
+				return ri > rj
+			}
+			return rs[i].Doc.ID < rs[j].Doc.ID
+		})
+		for i := range rs {
+			rs[i].Score = float64(ix.reads[rs[i].Doc.ID])
+		}
+	default: // relevance
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].Score != rs[j].Score {
+				return rs[i].Score > rs[j].Score
+			}
+			return rs[i].Doc.ID < rs[j].Doc.ID
+		})
+	}
+}
+
+func firstN(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n]) + "…"
+}
+
+// Freshness of metadata used by rankers decays as documents change; call
+// RefreshStats to recompute citation and read counts.
+func (ix *Index) RefreshStats() error {
+	g, err := lineage.Build(ix.eng)
+	if err != nil {
+		return err
+	}
+	for id := range ix.docs {
+		ix.cites[id] = g.CitationCount(id)
+		if evs, err := ix.eng.ReadEventsOf(id); err == nil {
+			ix.reads[id] = len(evs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,498 @@
+// Package security implements TeNDaX access control: users, roles,
+// sessions, and ACLs at document and character-range granularity. It plugs
+// into the engine through the core.AccessChecker interface, so every
+// editing transaction is vetted and reads can be masked character-exactly
+// (the paper's "fine-grained security").
+package security
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tendax/internal/awareness"
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/txn"
+	"tendax/internal/util"
+)
+
+// ErrDenied reports a failed access check.
+var ErrDenied = errors.New("security: access denied")
+
+// ErrBadCredentials reports a failed authentication.
+var ErrBadCredentials = errors.New("security: bad credentials")
+
+// ErrUserExists reports a duplicate user name.
+var ErrUserExists = errors.New("security: user already exists")
+
+// Principal spellings used in ACL rows.
+const (
+	Anyone     = "*"
+	UserPrefix = "user:"
+	RolePrefix = "role:"
+)
+
+var (
+	usersSchema = db.Schema{
+		{Name: "id", Type: db.TInt},
+		{Name: "name", Type: db.TString},
+		{Name: "pwhash", Type: db.TBytes},
+		{Name: "created", Type: db.TTime},
+	}
+	rolesSchema = db.Schema{
+		{Name: "id", Type: db.TInt},
+		{Name: "user", Type: db.TString},
+		{Name: "role", Type: db.TString},
+	}
+	aclsSchema = db.Schema{
+		{Name: "id", Type: db.TInt},
+		{Name: "doc", Type: db.TInt},
+		{Name: "principal", Type: db.TString},
+		{Name: "right", Type: db.TString},
+		{Name: "startc", Type: db.TInt}, // 0 = whole document
+		{Name: "endc", Type: db.TInt},
+		{Name: "allow", Type: db.TBool},
+	}
+)
+
+// Store is the security subsystem over the shared database.
+type Store struct {
+	eng    *core.Engine
+	tUsers *db.Table
+	tRoles *db.Table
+	tACLs  *db.Table
+}
+
+// NewStore opens the security tables and returns the store. Install it on
+// the engine with engine.SetAccessChecker(store).
+func NewStore(eng *core.Engine) (*Store, error) {
+	s := &Store{eng: eng}
+	var err error
+	if s.tUsers, err = eng.DB().CreateTable("sec_users", usersSchema, "name"); err != nil {
+		return nil, err
+	}
+	if s.tRoles, err = eng.DB().CreateTable("sec_roles", rolesSchema, "user"); err != nil {
+		return nil, err
+	}
+	if s.tACLs, err = eng.DB().CreateTable("sec_acls", aclsSchema, "doc"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func hashPassword(pw string) []byte {
+	h := sha256.Sum256([]byte("tendax:" + pw))
+	return h[:]
+}
+
+// CreateUser registers a user with a password and initial roles.
+func (s *Store) CreateUser(name, password string, roles ...string) error {
+	existing, err := s.tUsers.LookupEq("name", name)
+	if err != nil {
+		return err
+	}
+	if len(existing) > 0 {
+		return fmt.Errorf("%w: %s", ErrUserExists, name)
+	}
+	id := s.eng.NewID()
+	now := s.eng.Clock().Now()
+	err = s.withTxn(func(tx *txn.Txn) error {
+		if _, err := s.tUsers.Insert(tx, db.Row{int64(id), name, hashPassword(password), now}); err != nil {
+			return err
+		}
+		for _, r := range roles {
+			rid := s.eng.NewID()
+			if _, err := s.tRoles.Insert(tx, db.Row{int64(rid), name, r}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return err
+}
+
+// Authenticate verifies name/password and returns nil on success.
+func (s *Store) Authenticate(name, password string) error {
+	rids, err := s.tUsers.LookupEq("name", name)
+	if err != nil {
+		return err
+	}
+	if len(rids) == 0 {
+		return ErrBadCredentials
+	}
+	row, err := s.tUsers.Get(nil, rids[0])
+	if err != nil {
+		return err
+	}
+	want := row[2].([]byte)
+	got := hashPassword(password)
+	if len(want) != len(got) {
+		return ErrBadCredentials
+	}
+	var diff byte
+	for i := range want {
+		diff |= want[i] ^ got[i]
+	}
+	if diff != 0 {
+		return ErrBadCredentials
+	}
+	return nil
+}
+
+// UserExists reports whether name is registered.
+func (s *Store) UserExists(name string) bool {
+	rids, err := s.tUsers.LookupEq("name", name)
+	return err == nil && len(rids) > 0
+}
+
+// Users returns all registered user names, sorted.
+func (s *Store) Users() ([]string, error) {
+	var out []string
+	err := s.tUsers.Scan(nil, func(_ db.RID, row db.Row) (bool, error) {
+		out = append(out, row[1].(string))
+		return true, nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// AssignRole adds a role to a user.
+func (s *Store) AssignRole(user, role string) error {
+	roles, err := s.RolesOf(user)
+	if err != nil {
+		return err
+	}
+	for _, r := range roles {
+		if r == role {
+			return nil
+		}
+	}
+	id := s.eng.NewID()
+	return s.withTxn(func(tx *txn.Txn) error {
+		_, err := s.tRoles.Insert(tx, db.Row{int64(id), user, role})
+		return err
+	})
+}
+
+// RolesOf returns the roles assigned to user, sorted.
+func (s *Store) RolesOf(user string) ([]string, error) {
+	rids, err := s.tRoles.LookupEq("user", user)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rids))
+	for _, rid := range rids {
+		row, err := s.tRoles.Get(nil, rid)
+		if err != nil {
+			continue
+		}
+		out = append(out, row[2].(string))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// UsersInRole returns the users holding role, sorted.
+func (s *Store) UsersInRole(role string) ([]string, error) {
+	var out []string
+	err := s.tRoles.Scan(nil, func(_ db.RID, row db.Row) (bool, error) {
+		if row[2].(string) == role {
+			out = append(out, row[1].(string))
+		}
+		return true, nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// ACL is one access rule.
+type ACL struct {
+	ID        util.ID
+	Doc       util.ID
+	Principal string // "user:name", "role:name" or "*"
+	Right     core.Right
+	Start     util.ID // char range; NilID = whole document
+	End       util.ID
+	Allow     bool
+}
+
+// Grant adds a document-level allow rule. granter must hold RGrant on the
+// document (or be its creator).
+func (s *Store) Grant(granter string, doc util.ID, principal string, right core.Right) (util.ID, error) {
+	return s.addACL(granter, ACL{Doc: doc, Principal: principal, Right: right, Allow: true})
+}
+
+// Deny adds a document-level deny rule (deny overrides allow).
+func (s *Store) Deny(granter string, doc util.ID, principal string, right core.Right) (util.ID, error) {
+	return s.addACL(granter, ACL{Doc: doc, Principal: principal, Right: right, Allow: false})
+}
+
+// DenyRange hides the character range [start, end] (chain anchors) from
+// principal for the given right — the paper's character-level security.
+func (s *Store) DenyRange(granter string, doc util.ID, principal string, right core.Right, start, end util.ID) (util.ID, error) {
+	return s.addACL(granter, ACL{Doc: doc, Principal: principal, Right: right,
+		Start: start, End: end, Allow: false})
+}
+
+func (s *Store) addACL(granter string, acl ACL) (util.ID, error) {
+	if err := s.checkGranter(granter, acl.Doc); err != nil {
+		return util.NilID, err
+	}
+	id := s.eng.NewID()
+	err := s.withTxn(func(tx *txn.Txn) error {
+		_, err := s.tACLs.Insert(tx, db.Row{
+			int64(id), int64(acl.Doc), acl.Principal, string(acl.Right),
+			int64(acl.Start), int64(acl.End), acl.Allow,
+		})
+		return err
+	})
+	if err != nil {
+		return util.NilID, err
+	}
+	s.eng.Bus().Publish(awareness.Event{
+		Doc: acl.Doc, Kind: awareness.EvSecurity, User: granter,
+		Name: fmt.Sprintf("%s %s %s", verb(acl.Allow), acl.Right, acl.Principal),
+		At:   s.eng.Clock().Now(),
+	})
+	return id, nil
+}
+
+func verb(allow bool) string {
+	if allow {
+		return "grant"
+	}
+	return "deny"
+}
+
+// Revoke removes an ACL rule.
+func (s *Store) Revoke(granter string, aclID util.ID) error {
+	row, _, err := s.tACLs.GetByPK(nil, int64(aclID))
+	if err != nil {
+		return err
+	}
+	doc := util.ID(row[1].(int64))
+	if err := s.checkGranter(granter, doc); err != nil {
+		return err
+	}
+	return s.withTxn(func(tx *txn.Txn) error {
+		return s.tACLs.DeleteByPK(tx, int64(aclID))
+	})
+}
+
+// ACLs returns the rules of a document.
+func (s *Store) ACLs(doc util.ID) ([]ACL, error) {
+	rids, err := s.tACLs.LookupEq("doc", int64(doc))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ACL, 0, len(rids))
+	for _, rid := range rids {
+		row, err := s.tACLs.Get(nil, rid)
+		if err != nil {
+			continue
+		}
+		out = append(out, ACL{
+			ID:        util.ID(row[0].(int64)),
+			Doc:       util.ID(row[1].(int64)),
+			Principal: row[2].(string),
+			Right:     core.Right(row[3].(string)),
+			Start:     util.ID(row[4].(int64)),
+			End:       util.ID(row[5].(int64)),
+			Allow:     row[6].(bool),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// checkGranter allows the document creator and principals holding an
+// explicit RGrant allow rule. Unlike read/write, administration is never
+// open by default.
+func (s *Store) checkGranter(granter string, doc util.ID) error {
+	info, err := s.eng.DocInfoByID(doc)
+	if err != nil {
+		return err
+	}
+	if info.Creator == granter || info.Creator == "" {
+		return nil
+	}
+	acls, err := s.ACLs(doc)
+	if err != nil {
+		return err
+	}
+	principals := s.principalsOf(granter)
+	for _, a := range acls {
+		if a.Right == core.RGrant && a.Allow && principals[a.Principal] {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s may not administer doc %v", ErrDenied, granter, doc)
+}
+
+// principalsOf returns the ACL principals that match user.
+func (s *Store) principalsOf(user string) map[string]bool {
+	p := map[string]bool{Anyone: true, UserPrefix + user: true}
+	if roles, err := s.RolesOf(user); err == nil {
+		for _, r := range roles {
+			p[RolePrefix+r] = true
+		}
+	}
+	return p
+}
+
+// Check implements core.AccessChecker. Policy: the creator always has full
+// access; a document without whole-document rules for a right is open for
+// it; once rules exist, a matching deny wins over a matching allow, and a
+// non-match is a deny.
+func (s *Store) Check(user string, doc util.ID, right core.Right) error {
+	info, err := s.eng.DocInfoByID(doc)
+	if err != nil {
+		return err
+	}
+	if info.Creator == user || info.Creator == "" {
+		return nil
+	}
+	acls, err := s.ACLs(doc)
+	if err != nil {
+		return err
+	}
+	principals := s.principalsOf(user)
+	anyRuleForRight := false
+	allowed := false
+	for _, a := range acls {
+		if a.Right != right || !a.Start.IsNil() { // range rules only mask reads
+			continue
+		}
+		anyRuleForRight = true
+		if !principals[a.Principal] {
+			continue
+		}
+		if !a.Allow {
+			return fmt.Errorf("%w: %s denied %s on doc %v", ErrDenied, user, right, doc)
+		}
+		allowed = true
+	}
+	if !anyRuleForRight {
+		return nil // open until configured
+	}
+	if !allowed {
+		return fmt.Errorf("%w: %s lacks %s on doc %v", ErrDenied, user, right, doc)
+	}
+	return nil
+}
+
+// ReadableMask implements core.AccessChecker: per-character read masking
+// from range deny rules. ids are the document's visible characters in
+// order; the mask is computed positionally between the range anchors. A
+// missing start anchor masks from the beginning, a missing end anchor masks
+// to the end (fail closed).
+func (s *Store) ReadableMask(user string, doc util.ID, ids []util.ID) []bool {
+	acls, err := s.ACLs(doc)
+	if err != nil {
+		return nil
+	}
+	info, err := s.eng.DocInfoByID(doc)
+	if err == nil && info.Creator == user {
+		return nil // creator reads everything
+	}
+	principals := s.principalsOf(user)
+	var mask []bool
+	for _, a := range acls {
+		if a.Allow || a.Right != core.RRead || a.Start.IsNil() {
+			continue
+		}
+		if !principals[a.Principal] {
+			continue
+		}
+		if mask == nil {
+			mask = make([]bool, len(ids))
+			for i := range mask {
+				mask[i] = true
+			}
+		}
+		startIdx, endIdx := -1, -1
+		for i, id := range ids {
+			if id == a.Start {
+				startIdx = i
+			}
+			if id == a.End {
+				endIdx = i
+			}
+		}
+		if startIdx == -1 {
+			startIdx = 0
+		}
+		if endIdx == -1 {
+			endIdx = len(ids) - 1
+		}
+		for i := startIdx; i <= endIdx && i < len(ids); i++ {
+			mask[i] = false
+		}
+	}
+	return mask
+}
+
+// Session is an authenticated user session.
+type Session struct {
+	Token   string
+	User    string
+	Started time.Time
+}
+
+// NewSession authenticates and mints a session token.
+func (s *Store) NewSession(name, password string) (Session, error) {
+	if err := s.Authenticate(name, password); err != nil {
+		return Session{}, err
+	}
+	now := s.eng.Clock().Now()
+	tok := fmt.Sprintf("%x", sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%v", name, now.UnixNano(), s.eng.NewID()))))
+	return Session{Token: tok[:32], User: name, Started: now}, nil
+}
+
+// withTxn mirrors the engine's deadlock-retrying transaction wrapper.
+func (s *Store) withTxn(fn func(tx *txn.Txn) error) error {
+	const retries = 8
+	for attempt := 0; ; attempt++ {
+		tx, err := s.eng.DB().Begin()
+		if err != nil {
+			return err
+		}
+		err = fn(tx)
+		if err == nil {
+			return tx.Commit()
+		}
+		tx.Abort()
+		if !errors.Is(err, txn.ErrDeadlock) || attempt >= retries {
+			return err
+		}
+	}
+}
+
+var _ core.AccessChecker = (*Store)(nil)
+
+// FormatACL renders a rule for CLI display.
+func FormatACL(a ACL) string {
+	scope := "doc"
+	if !a.Start.IsNil() {
+		scope = fmt.Sprintf("chars %v..%v", a.Start, a.End)
+	}
+	return fmt.Sprintf("%s %s %s on %s", verb(a.Allow), a.Right, a.Principal, scope)
+}
+
+// SplitPrincipal parses a principal spelling into kind and name.
+func SplitPrincipal(p string) (kind, name string) {
+	switch {
+	case p == Anyone:
+		return "anyone", ""
+	case strings.HasPrefix(p, UserPrefix):
+		return "user", strings.TrimPrefix(p, UserPrefix)
+	case strings.HasPrefix(p, RolePrefix):
+		return "role", strings.TrimPrefix(p, RolePrefix)
+	default:
+		return "user", p
+	}
+}

@@ -1,0 +1,481 @@
+// Package server implements the TeNDaX daemon: a TCP server hosting one
+// engine, serving any number of editor connections. Every committed editing
+// transaction is pushed to all subscribers of the document, which is what
+// turns the database into a real-time collaborative editor backend.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"tendax/internal/awareness"
+	"tendax/internal/core"
+	"tendax/internal/protocol"
+	"tendax/internal/security"
+	"tendax/internal/util"
+)
+
+// Server hosts an engine on a TCP listener.
+type Server struct {
+	eng *core.Engine
+	sec *security.Store // nil = no authentication (trusted LAN demo mode)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]bool
+	closed   bool
+	logf     func(format string, args ...interface{})
+	wg       sync.WaitGroup
+	OnListen func(addr net.Addr) // test hook
+}
+
+// New creates a server over an engine. sec may be nil to accept any user
+// name without a password (the LAN-party demo configuration).
+func New(eng *core.Engine, sec *security.Store) *Server {
+	return &Server{
+		eng:   eng,
+		sec:   sec,
+		conns: make(map[*conn]bool),
+		logf:  log.Printf,
+	}
+}
+
+// SetLogf replaces the server's logger (tests silence it).
+func (s *Server) SetLogf(f func(string, ...interface{})) { s.logf = f }
+
+// Listen binds addr ("host:port", port 0 picks a free one) and returns the
+// bound address. Serve must be called to accept connections.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	if s.OnListen != nil {
+		s.OnListen(ln.Addr())
+	}
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close. It returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		c := &conn{srv: s, codec: protocol.NewCodec(nc), subs: make(map[util.ID]*awareness.Subscription)}
+		s.mu.Lock()
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go c.serve()
+	}
+}
+
+// Close stops accepting and tears down every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// conn is one editor connection.
+type conn struct {
+	srv   *Server
+	codec *protocol.Codec
+	user  string
+
+	mu   sync.Mutex
+	subs map[util.ID]*awareness.Subscription
+	dead bool
+}
+
+func (c *conn) close() {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	subs := c.subs
+	c.subs = map[util.ID]*awareness.Subscription{}
+	user := c.user
+	c.mu.Unlock()
+	for doc, sub := range subs {
+		sub.Close()
+		if user != "" {
+			c.srv.eng.Bus().Leave(doc, user, c.srv.eng.Clock().Now())
+		}
+	}
+	c.codec.Close()
+	c.srv.dropConn(c)
+}
+
+func (c *conn) serve() {
+	defer c.srv.wg.Done()
+	defer c.close()
+	for {
+		req, err := c.codec.Recv()
+		if err != nil {
+			return
+		}
+		if req.Type != protocol.TypeRequest {
+			continue
+		}
+		resp := c.handle(req)
+		resp.Type = protocol.TypeResponse
+		resp.ID = req.ID
+		if err := c.codec.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func fail(err error) *protocol.Message {
+	return &protocol.Message{Err: err.Error()}
+}
+
+func (c *conn) handle(req *protocol.Message) *protocol.Message {
+	if req.Op != protocol.OpLogin && c.user == "" {
+		return fail(errors.New("server: not logged in"))
+	}
+	switch req.Op {
+	case protocol.OpLogin:
+		return c.login(req)
+	case protocol.OpCreateDoc:
+		d, err := c.srv.eng.CreateDocument(c.user, req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, Doc: uint64(d.ID())}
+	case protocol.OpListDocs:
+		infos, err := c.srv.eng.ListDocuments()
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]protocol.DocInfo, len(infos))
+		for i, in := range infos {
+			out[i] = wireInfo(in)
+		}
+		return &protocol.Message{OK: true, Docs: out}
+	case protocol.OpOpenDoc:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		text, err := d.TextFor(c.user)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, Doc: req.Doc, Text: text,
+			Seq: c.srv.eng.Bus().Seq(d.ID())}
+	case protocol.OpText:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		text, err := d.TextFor(c.user)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, Text: text, Seq: c.srv.eng.Bus().Seq(d.ID())}
+	case protocol.OpRead:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		text, err := d.RecordRead(c.user)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, Text: text}
+	case protocol.OpInsert:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		opID, err := d.InsertText(c.user, req.Pos, req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(opID)}
+	case protocol.OpAppend:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		opID, err := d.AppendText(c.user, req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(opID)}
+	case protocol.OpDelete:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		opID, err := d.DeleteRange(c.user, req.Pos, req.N)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(opID)}
+	case protocol.OpCopy:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		clip, err := d.Copy(c.user, req.Pos, req.N)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, Clip: wireClip(clip)}
+	case protocol.OpPaste:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		if req.Clip == nil {
+			return fail(errors.New("server: paste without clip"))
+		}
+		opID, err := d.Paste(c.user, req.Pos, coreClip(req.Clip))
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(opID)}
+	case protocol.OpUndo, protocol.OpRedo:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		var opID util.ID
+		switch {
+		case req.Op == protocol.OpUndo && req.Scope == protocol.ScopeGlobal:
+			opID, err = d.UndoGlobal(c.user)
+		case req.Op == protocol.OpUndo:
+			opID, err = d.UndoLocal(c.user)
+		case req.Scope == protocol.ScopeGlobal:
+			opID, err = d.RedoGlobal(c.user)
+		default:
+			opID, err = d.RedoLocal(c.user)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(opID)}
+	case protocol.OpLayout:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		spanID, err := d.ApplyLayout(c.user, req.Pos, req.N, req.Kind, req.Value)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(spanID)}
+	case protocol.OpNote:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		spanID, err := d.InsertNote(c.user, req.Pos, req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(spanID)}
+	case protocol.OpVersion:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		v, err := d.CreateVersion(c.user, req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, OpID: uint64(v.ID)}
+	case protocol.OpVersions:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		vs, err := d.Versions()
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]protocol.Version, len(vs))
+		for i, v := range vs {
+			out[i] = protocol.Version{ID: uint64(v.ID), Name: v.Name,
+				Author: v.Author, AtNS: v.At.UnixNano()}
+		}
+		return &protocol.Message{OK: true, Versions: out}
+	case protocol.OpVersionText:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		text, err := d.VersionText(util.ID(req.Version))
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Message{OK: true, Text: text}
+	case protocol.OpHistory:
+		d, err := c.doc(req)
+		if err != nil {
+			return fail(err)
+		}
+		hist := d.History()
+		out := make([]protocol.HistoryOp, len(hist))
+		for i, h := range hist {
+			out[i] = protocol.HistoryOp{ID: uint64(h.ID), User: h.User,
+				Kind: h.Kind, Chars: h.Chars, Undone: h.Undone}
+		}
+		return &protocol.Message{OK: true, History: out}
+	case protocol.OpSubscribe:
+		return c.subscribe(req)
+	case protocol.OpUnsubscribe:
+		c.unsubscribe(util.ID(req.Doc))
+		return &protocol.Message{OK: true}
+	case protocol.OpCursor:
+		c.srv.eng.Bus().MoveCursor(util.ID(req.Doc), c.user, req.Pos, c.srv.eng.Clock().Now())
+		return &protocol.Message{OK: true}
+	case protocol.OpPresence:
+		ps := c.srv.eng.Bus().Present(util.ID(req.Doc))
+		out := make([]protocol.Presence, len(ps))
+		for i, p := range ps {
+			out[i] = protocol.Presence{User: p.User, Cursor: p.Cursor}
+		}
+		return &protocol.Message{OK: true, Present: out}
+	default:
+		return fail(fmt.Errorf("server: unknown op %q", req.Op))
+	}
+}
+
+func (c *conn) login(req *protocol.Message) *protocol.Message {
+	if req.User == "" {
+		return fail(errors.New("server: empty user"))
+	}
+	if c.srv.sec != nil {
+		if err := c.srv.sec.Authenticate(req.User, req.Password); err != nil {
+			return fail(err)
+		}
+	}
+	c.user = req.User
+	return &protocol.Message{OK: true, User: req.User}
+}
+
+func (c *conn) doc(req *protocol.Message) (*core.Document, error) {
+	return c.srv.eng.OpenDocument(util.ID(req.Doc))
+}
+
+// subscribe registers for a document's events and starts the push pump.
+func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
+	docID := util.ID(req.Doc)
+	if _, err := c.srv.eng.OpenDocument(docID); err != nil {
+		return fail(err)
+	}
+	c.mu.Lock()
+	if _, dup := c.subs[docID]; dup {
+		c.mu.Unlock()
+		return &protocol.Message{OK: true}
+	}
+	sub := c.srv.eng.Bus().Subscribe(docID)
+	c.subs[docID] = sub
+	c.mu.Unlock()
+
+	c.srv.eng.Bus().Join(docID, c.user, c.srv.eng.Clock().Now())
+	go func() {
+		for ev := range sub.C {
+			msg := &protocol.Message{
+				Type: protocol.TypePush,
+				Event: &protocol.Event{
+					Seq: ev.Seq, Doc: uint64(ev.Doc), Kind: string(ev.Kind),
+					User: ev.User, Pos: ev.Pos, Text: ev.Text, N: ev.N,
+					Name: ev.Name, AtNS: ev.At.UnixNano(),
+				},
+			}
+			if err := c.codec.Send(msg); err != nil {
+				c.close()
+				return
+			}
+		}
+	}()
+	return &protocol.Message{OK: true, Seq: c.srv.eng.Bus().Seq(docID)}
+}
+
+func (c *conn) unsubscribe(doc util.ID) {
+	c.mu.Lock()
+	sub := c.subs[doc]
+	delete(c.subs, doc)
+	user := c.user
+	c.mu.Unlock()
+	if sub != nil {
+		sub.Close()
+		c.srv.eng.Bus().Leave(doc, user, c.srv.eng.Clock().Now())
+	}
+}
+
+func wireInfo(in core.DocInfo) protocol.DocInfo {
+	return protocol.DocInfo{
+		ID: uint64(in.ID), Name: in.Name, Creator: in.Creator, Size: in.Size,
+		State: in.State, Authors: in.Authors, ModifiedNS: in.Modified.UnixNano(),
+	}
+}
+
+func wireClip(c core.Clipboard) *protocol.Clip {
+	chars := make([]uint64, len(c.SrcChars))
+	for i, id := range c.SrcChars {
+		chars[i] = uint64(id)
+	}
+	return &protocol.Clip{Text: c.Text, SrcDoc: uint64(c.SrcDoc), SrcChars: chars}
+}
+
+func coreClip(c *protocol.Clip) core.Clipboard {
+	chars := make([]util.ID, len(c.SrcChars))
+	for i, id := range c.SrcChars {
+		chars[i] = util.ID(id)
+	}
+	return core.Clipboard{Text: c.Text, SrcDoc: util.ID(c.SrcDoc), SrcChars: chars}
+}

@@ -1,0 +1,451 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tendax/internal/client"
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/editor"
+	"tendax/internal/protocol"
+	"tendax/internal/security"
+	"tendax/internal/util"
+)
+
+// harness starts a server over an in-memory database and returns its
+// address. sec=true enables authentication with two users.
+func harness(t *testing.T, sec bool) (addr string, eng *core.Engine) {
+	t.Helper()
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err = core.NewEngine(database, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var store *security.Store
+	if sec {
+		store, err = security.NewStore(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetAccessChecker(store)
+		store.CreateUser("alice", "pw-a")
+		store.CreateUser("bob", "pw-b")
+	}
+	srv := New(eng, store)
+	srv.SetLogf(func(string, ...interface{}) {})
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		srv.Close()
+		database.Close()
+	})
+	return a.String(), eng
+}
+
+func login(t *testing.T, addr, user, pw string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Login(user, pw); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoginRequired(t *testing.T) {
+	addr, _ := harness(t, false)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CreateDocument("x"); err == nil {
+		t.Fatal("request before login succeeded")
+	}
+	if err := c.Login("anyone", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDocument("x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthenticationEnforced(t *testing.T) {
+	addr, _ := harness(t, true)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Login("alice", "wrong"); err == nil {
+		t.Fatal("bad password accepted")
+	}
+	if err := c.Login("alice", "pw-a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditThroughServer(t *testing.T) {
+	addr, eng := harness(t, false)
+	c := login(t, addr, "alice", "")
+	docID, err := c.CreateDocument("remote-doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := d.Seq()
+	if err := d.Insert(0, "hello over tcp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitSeq(base+2, 500); err != nil {
+		t.Fatal(err)
+	}
+	if d.Text() != "over tcp" {
+		t.Fatalf("replica = %q", d.Text())
+	}
+	// The database agrees.
+	srvDoc, err := eng.OpenDocument(util.ID(docID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srvDoc.Text() != "over tcp" {
+		t.Fatalf("server doc = %q", srvDoc.Text())
+	}
+}
+
+func TestRealTimePropagationBetweenEditors(t *testing.T) {
+	addr, _ := harness(t, false)
+	alice := login(t, addr, "alice", "")
+	bob := login(t, addr, "bob", "")
+
+	docID, _ := alice.CreateDocument("shared")
+	da, err := alice.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := bob.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice types; it must appear in bob's replica without bob polling.
+	// Baselines are the receiver's own sequence (the sender's replica may
+	// not have caught up with its own push yet).
+	bobBase := db2.Seq()
+	if err := da.Insert(0, "alice says hi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.WaitSeq(bobBase+1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Text() != "alice says hi" {
+		t.Fatalf("bob's replica = %q", db2.Text())
+	}
+	// And the other direction: wait on the visible outcome (sequence
+	// numbers on the sender side are inherently racy).
+	if err := db2.Append(" — bob too"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if strings.HasSuffix(da.Text(), "bob too") {
+			break
+		}
+		if i == 250 {
+			da.Resync()
+		}
+		if i > 500 {
+			t.Fatalf("alice's replica = %q", da.Text())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestConcurrentTypingLANParty(t *testing.T) {
+	addr, eng := harness(t, false)
+	host := login(t, addr, "host", "")
+	docID, _ := host.CreateDocument("lan-party")
+
+	const editors = 6
+	const lines = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, editors)
+	for i := 0; i < editors; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := fmt.Sprintf("player%d", i)
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Login(user, ""); err != nil {
+				errs <- err
+				return
+			}
+			d, err := c.Open(docID)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < lines; j++ {
+				if err := d.Append(fmt.Sprintf("<%s:%d>", user, j)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	srvDoc, _ := eng.OpenDocument(util.ID(docID))
+	text := srvDoc.Text()
+	for i := 0; i < editors; i++ {
+		for j := 0; j < lines; j++ {
+			frag := fmt.Sprintf("<player%d:%d>", i, j)
+			if strings.Count(text, frag) != 1 {
+				t.Fatalf("fragment %s count = %d", frag, strings.Count(text, frag))
+			}
+		}
+	}
+	if err := srvDoc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyPasteAcrossConnections(t *testing.T) {
+	addr, eng := harness(t, false)
+	alice := login(t, addr, "alice", "")
+	bob := login(t, addr, "bob", "")
+
+	srcID, _ := alice.CreateDocument("src")
+	src, _ := alice.Open(srcID)
+	src.Insert(0, "valuable paragraph")
+
+	dstID, _ := bob.CreateDocument("dst")
+	dst, _ := bob.Open(dstID)
+	base := dst.Seq()
+	clip, err := src.Copy(0, 8) // "valuable"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Paste(0, clip); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.WaitSeq(base+1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Text() != "valuable" {
+		t.Fatalf("dst = %q", dst.Text())
+	}
+	// Provenance survived the wire round trip.
+	d, _ := eng.OpenDocument(util.ID(dstID))
+	meta, err := d.CharMetaAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.SourceDoc != util.ID(srcID) {
+		t.Fatalf("provenance lost: %v", meta.SourceDoc)
+	}
+}
+
+func TestUndoRedoOverWire(t *testing.T) {
+	addr, _ := harness(t, false)
+	c := login(t, addr, "alice", "")
+	docID, _ := c.CreateDocument("undoable")
+	d, _ := c.Open(docID)
+	base := d.Seq()
+	d.Insert(0, "first ")
+	d.Insert(6, "second")
+	if err := d.Undo(protocol.ScopeLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitSeq(base+3, 500); err != nil {
+		t.Fatal(err)
+	}
+	if d.Text() != "first " {
+		t.Fatalf("after undo: %q", d.Text())
+	}
+	if err := d.Redo(protocol.ScopeLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitSeq(base+4, 500); err != nil {
+		t.Fatal(err)
+	}
+	if d.Text() != "first second" {
+		t.Fatalf("after redo: %q", d.Text())
+	}
+}
+
+func TestVersionsOverWire(t *testing.T) {
+	addr, _ := harness(t, false)
+	c := login(t, addr, "alice", "")
+	docID, _ := c.CreateDocument("versioned")
+	d, _ := c.Open(docID)
+	d.Insert(0, "v1 text")
+	if err := d.CreateVersion("first"); err != nil {
+		t.Fatal(err)
+	}
+	d.Insert(0, "newer ")
+	vs, err := d.Versions()
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+	text, err := d.VersionText(vs[0].ID)
+	if err != nil || text != "v1 text" {
+		t.Fatalf("version text = %q, %v", text, err)
+	}
+}
+
+func TestPresenceAndCursor(t *testing.T) {
+	addr, _ := harness(t, false)
+	alice := login(t, addr, "alice", "")
+	bob := login(t, addr, "bob", "")
+	docID, _ := alice.CreateDocument("aware")
+	da, _ := alice.Open(docID)
+	dbob, _ := bob.Open(docID)
+	da.Insert(0, "watch my cursor")
+	if err := dbob.MoveCursor(5); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ps, err := da.Presence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) == 2 {
+			for _, p := range ps {
+				if p.User == "bob" && p.Cursor == 5 {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("presence = %+v", ps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHistoryOverWire(t *testing.T) {
+	addr, _ := harness(t, false)
+	c := login(t, addr, "alice", "")
+	docID, _ := c.CreateDocument("hist")
+	d, _ := c.Open(docID)
+	d.Insert(0, "abc")
+	d.Delete(0, 1)
+	hist, err := d.History()
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history = %v, %v", hist, err)
+	}
+	if hist[0].Kind != "insert" || hist[1].Kind != "delete" {
+		t.Fatalf("history kinds = %v", hist)
+	}
+}
+
+func TestEditorHeadless(t *testing.T) {
+	addr, _ := harness(t, false)
+	alice := login(t, addr, "alice", "")
+	docID, _ := alice.CreateDocument("edited")
+	d, _ := alice.Open(docID)
+	ed := editor.New(d)
+	base := d.Seq()
+
+	if err := ed.Type("Hello world"); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitSeq(base+1, 500)
+	if ed.Cursor() != 11 {
+		t.Fatalf("cursor = %d", ed.Cursor())
+	}
+	if err := ed.Backspace(); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitSeq(base+2, 500)
+	if d.Text() != "Hello worl" {
+		t.Fatalf("text = %q", d.Text())
+	}
+	if err := ed.Select(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	clip, err := ed.Copy()
+	if err != nil || clip.Text != "Hello" {
+		t.Fatalf("clip = %v, %v", clip, err)
+	}
+	if err := ed.Bold(); err != nil {
+		t.Fatal(err)
+	}
+	ed.MoveTo(d.Len())
+	if err := ed.Paste(clip); err != nil {
+		t.Fatal(err)
+	}
+	// Events so far: insert, delete, layout(Bold), cursor(MoveTo), paste.
+	d.WaitSeq(base+5, 500)
+	if d.Text() != "Hello worlHello" {
+		t.Fatalf("after paste: %q", d.Text())
+	}
+	view := ed.Render(40)
+	if !strings.Contains(view, "▎") {
+		t.Fatal("render has no cursor")
+	}
+	if err := ed.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitSeq(base+6, 500)
+	if d.Text() != "Hello worl" {
+		t.Fatalf("after editor undo: %q", d.Text())
+	}
+}
+
+func TestReplicaResyncAfterGap(t *testing.T) {
+	addr, eng := harness(t, false)
+	alice := login(t, addr, "alice", "")
+	docID, _ := alice.CreateDocument("gapdoc")
+	d, _ := alice.Open(docID)
+
+	// Server-side edits through the engine directly do not go through
+	// alice's connection but are pushed; undo forces replica resync paths.
+	// Baselines are relative: the subscription's join event already
+	// consumed a sequence number.
+	srvDoc, _ := eng.OpenDocument(util.ID(docID))
+	base := d.Seq()
+	srvDoc.InsertText("ghost", 0, "server side text")
+	if err := d.WaitSeq(base+1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if d.Text() != "server side text" {
+		t.Fatalf("replica = %q", d.Text())
+	}
+	base = d.Seq()
+	srvDoc.UndoLocal("ghost")
+	if err := d.WaitSeq(base+1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if d.Text() != "" {
+		t.Fatalf("replica after remote undo = %q", d.Text())
+	}
+}

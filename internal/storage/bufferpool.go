@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPoolFull reports that every frame in the buffer pool is pinned.
+var ErrPoolFull = errors.New("storage: buffer pool full (all frames pinned)")
+
+// BufferPool caches pages in memory with clock (second-chance) eviction.
+// Pinned pages are never evicted; dirty victims are written back before
+// their frame is reused.
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   DiskManager
+	frames []*Page
+	table  map[PageID]int // page id -> frame index
+	ref    []bool         // clock reference bits
+	hand   int
+	hits   uint64
+	misses uint64
+}
+
+// NewBufferPool creates a pool of capacity frames over disk. Capacity must
+// be at least 1.
+func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:   disk,
+		frames: make([]*Page, capacity),
+		table:  make(map[PageID]int, capacity),
+		ref:    make([]bool, capacity),
+	}
+}
+
+// Fetch pins page id, loading it from disk on a miss. The caller must
+// Unpin it exactly once.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if idx, ok := bp.table[id]; ok {
+		bp.hits++
+		bp.frames[idx].pins++
+		bp.ref[idx] = true
+		return bp.frames[idx], nil
+	}
+	bp.misses++
+	idx, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	pg := &Page{id: id}
+	if err := bp.disk.ReadPage(id, pg.data[:]); err != nil {
+		return nil, err
+	}
+	pg.pins = 1
+	bp.frames[idx] = pg
+	bp.table[id] = idx
+	bp.ref[idx] = true
+	return pg, nil
+}
+
+// NewPage allocates a fresh page on disk and returns it pinned.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	id, err := bp.disk.AllocatePage()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	pg := &Page{id: id, pins: 1, dirty: true}
+	bp.frames[idx] = pg
+	bp.table[id] = idx
+	bp.ref[idx] = true
+	return pg, nil
+}
+
+// Unpin releases one pin on page id. If dirty, the page is marked for
+// write-back on eviction or flush.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, ok := bp.table[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident %v", id)
+	}
+	pg := bp.frames[idx]
+	if pg.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned %v", id)
+	}
+	pg.pins--
+	if dirty {
+		// The dirty flag is protected by the page latch (writers and the
+		// flusher both take it); bp.mu alone is not enough.
+		pg.Lock()
+		pg.dirty = true
+		pg.Unlock()
+	}
+	return nil
+}
+
+// Flush writes page id back to disk if resident and dirty.
+func (bp *BufferPool) Flush(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, ok := bp.table[id]
+	if !ok {
+		return nil
+	}
+	return bp.flushFrameLocked(idx)
+}
+
+// FlushAll writes every dirty resident page back to disk and syncs.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	for idx, pg := range bp.frames {
+		if pg == nil {
+			continue
+		}
+		if err := bp.flushFrameLocked(idx); err != nil {
+			bp.mu.Unlock()
+			return err
+		}
+	}
+	bp.mu.Unlock()
+	return bp.disk.Sync()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (bp *BufferPool) Stats() (hits, misses uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}
+
+// Disk exposes the underlying disk manager (used by recovery).
+func (bp *BufferPool) Disk() DiskManager { return bp.disk }
+
+// flushFrameLocked writes a dirty frame back to disk. It takes the page
+// latch so it never observes a concurrent writer's half-applied mutation
+// (writers hold the latch but not bp.mu; no code path holds a page latch
+// while calling into the pool, so the bp.mu→latch order cannot deadlock).
+func (bp *BufferPool) flushFrameLocked(idx int) error {
+	pg := bp.frames[idx]
+	if pg == nil {
+		return nil
+	}
+	pg.Lock()
+	defer pg.Unlock()
+	if !pg.dirty {
+		return nil
+	}
+	if err := bp.disk.WritePage(pg.id, pg.data[:]); err != nil {
+		return err
+	}
+	pg.dirty = false
+	return nil
+}
+
+// victimLocked finds a free or evictable frame using the clock algorithm.
+func (bp *BufferPool) victimLocked() (int, error) {
+	n := len(bp.frames)
+	for i := range bp.frames {
+		if bp.frames[i] == nil {
+			return i, nil
+		}
+	}
+	// Two sweeps: the first clears reference bits, the second takes the
+	// first unpinned frame.
+	for sweep := 0; sweep < 2*n; sweep++ {
+		idx := bp.hand
+		bp.hand = (bp.hand + 1) % n
+		pg := bp.frames[idx]
+		if pg.pins > 0 {
+			continue
+		}
+		if bp.ref[idx] {
+			bp.ref[idx] = false
+			continue
+		}
+		if err := bp.flushFrameLocked(idx); err != nil {
+			return 0, err
+		}
+		delete(bp.table, pg.id)
+		bp.frames[idx] = nil
+		return idx, nil
+	}
+	return 0, ErrPoolFull
+}

@@ -1,0 +1,383 @@
+package texttree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tendax/internal/util"
+)
+
+// Char is one character instance: the unit of text in TeNDaX. Every field
+// except visibility state is immutable after creation; deletion only marks
+// the instance, keeping the chain stable for versioning and provenance.
+type Char struct {
+	ID      util.ID
+	Rune    rune
+	Author  string    // user who typed it
+	Created time.Time // when it was committed
+
+	Prev util.ID // neighbour links: the chain includes tombstones
+	Next util.ID
+
+	Deleted   bool
+	DeletedBy string
+	DeletedAt time.Time
+
+	// Copy-paste provenance: where this instance was copied from.
+	SourceDoc  util.ID
+	SourceChar util.ID
+}
+
+// ErrUnknownChar reports an operation on a character not in the buffer.
+var ErrUnknownChar = errors.New("texttree: unknown character")
+
+// Buffer is the in-memory working form of one document's text: the full
+// character chain plus the order index. The database rows remain the source
+// of truth; a Buffer can always be rebuilt from them with Load.
+type Buffer struct {
+	order *Order
+	chars map[util.ID]*Char
+	head  util.ID // first character instance in the chain (may be tombstone)
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{order: NewOrder(), chars: make(map[util.ID]*Char)}
+}
+
+// Load rebuilds the buffer from persisted character rows. The rows may be
+// in any order; the chain is reassembled from the neighbour links.
+func Load(rows []Char) (*Buffer, error) {
+	b := NewBuffer()
+	if len(rows) == 0 {
+		return b, nil
+	}
+	for i := range rows {
+		ch := rows[i]
+		b.chars[ch.ID] = &ch
+	}
+	// Find the head: the unique char with no predecessor.
+	var head *Char
+	for _, ch := range b.chars {
+		if ch.Prev.IsNil() {
+			if head != nil {
+				return nil, fmt.Errorf("texttree: chain has two heads: %v and %v", head.ID, ch.ID)
+			}
+			head = ch
+		}
+	}
+	if head == nil {
+		return nil, errors.New("texttree: chain has no head")
+	}
+	b.head = head.ID
+	prev := util.NilID
+	count := 0
+	for id := head.ID; !id.IsNil(); {
+		ch := b.chars[id]
+		if ch == nil {
+			return nil, fmt.Errorf("texttree: chain references missing char %v", id)
+		}
+		count++
+		if count > len(b.chars) {
+			return nil, errors.New("texttree: chain has a cycle")
+		}
+		b.order.InsertAfter(prev, id, !ch.Deleted)
+		prev = id
+		id = ch.Next
+	}
+	if count != len(b.chars) {
+		return nil, fmt.Errorf("texttree: %d chars unreachable from head", len(b.chars)-count)
+	}
+	return b, nil
+}
+
+// Len returns the number of visible characters.
+func (b *Buffer) Len() int { return b.order.VisibleLen() }
+
+// TotalLen returns the number of character instances, tombstones included.
+func (b *Buffer) TotalLen() int { return b.order.Len() }
+
+// Char returns the character instance with id.
+func (b *Buffer) Char(id util.ID) (*Char, bool) {
+	c, ok := b.chars[id]
+	return c, ok
+}
+
+// IDAt returns the ID of the visible character at position pos.
+func (b *Buffer) IDAt(pos int) (util.ID, bool) { return b.order.VisibleAt(pos) }
+
+// PosOf returns the 0-based visible position of id.
+func (b *Buffer) PosOf(id util.ID) (int, bool) {
+	if !b.order.Visible(id) {
+		return 0, false
+	}
+	return b.order.VisibleRank(id)
+}
+
+// RankOf returns the number of visible characters strictly before id, for
+// any instance including tombstones (a tombstone's rank is where its text
+// would resume). ok is false if id is unknown.
+func (b *Buffer) RankOf(id util.ID) (int, bool) { return b.order.VisibleRank(id) }
+
+// PredecessorForInsert returns the character instance ID after which an
+// insertion at visible position pos must be chained (NilID for pos 0).
+func (b *Buffer) PredecessorForInsert(pos int) (util.ID, error) {
+	if pos < 0 || pos > b.Len() {
+		return util.NilID, fmt.Errorf("texttree: position %d out of range 0..%d", pos, b.Len())
+	}
+	if pos == 0 {
+		return util.NilID, nil
+	}
+	id, ok := b.order.VisibleAt(pos - 1)
+	if !ok {
+		return util.NilID, fmt.Errorf("texttree: no visible char at %d", pos-1)
+	}
+	return id, nil
+}
+
+// InsertAfter chains ch immediately after prev (NilID = front of document)
+// and returns the neighbour whose Prev link changed (the old successor), so
+// the caller can persist both affected rows. ch.Prev/ch.Next are set here.
+func (b *Buffer) InsertAfter(prev util.ID, ch Char) (updatedNext util.ID, err error) {
+	if _, dup := b.chars[ch.ID]; dup {
+		return util.NilID, fmt.Errorf("texttree: duplicate char %v", ch.ID)
+	}
+	var next util.ID
+	if prev.IsNil() {
+		next = b.head
+		b.head = ch.ID
+	} else {
+		p, ok := b.chars[prev]
+		if !ok {
+			return util.NilID, fmt.Errorf("%w: predecessor %v", ErrUnknownChar, prev)
+		}
+		next = p.Next
+		p.Next = ch.ID
+	}
+	ch.Prev = prev
+	ch.Next = next
+	if !next.IsNil() {
+		n, ok := b.chars[next]
+		if !ok {
+			return util.NilID, fmt.Errorf("%w: successor %v", ErrUnknownChar, next)
+		}
+		n.Prev = ch.ID
+	}
+	c := ch
+	b.chars[c.ID] = &c
+	b.order.InsertAfter(prev, c.ID, !c.Deleted)
+	return next, nil
+}
+
+// Delete tombstones id (logical deletion). The chain is untouched.
+func (b *Buffer) Delete(id util.ID, by string, at time.Time) error {
+	ch, ok := b.chars[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownChar, id)
+	}
+	if ch.Deleted {
+		return nil
+	}
+	ch.Deleted = true
+	ch.DeletedBy = by
+	ch.DeletedAt = at
+	b.order.SetVisible(id, false)
+	return nil
+}
+
+// Undelete makes a tombstoned character visible again (undo of a delete).
+func (b *Buffer) Undelete(id util.ID) error {
+	ch, ok := b.chars[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownChar, id)
+	}
+	if !ch.Deleted {
+		return nil
+	}
+	ch.Deleted = false
+	ch.DeletedBy = ""
+	ch.DeletedAt = time.Time{}
+	b.order.SetVisible(id, true)
+	return nil
+}
+
+// ChainSuccessor returns the instance immediately after prev in the chain
+// (tombstones included); prev == NilID returns the chain head. It reports
+// the instance whose Prev link an insertion after prev must rewrite.
+func (b *Buffer) ChainSuccessor(prev util.ID) util.ID {
+	if prev.IsNil() {
+		return b.head
+	}
+	if ch, ok := b.chars[prev]; ok {
+		return ch.Next
+	}
+	return util.NilID
+}
+
+// Head returns the first character instance in the chain (may be a
+// tombstone), or NilID for an empty buffer.
+func (b *Buffer) Head() util.ID { return b.head }
+
+// Text returns the visible text.
+func (b *Buffer) Text() string {
+	var sb strings.Builder
+	sb.Grow(b.Len())
+	b.order.WalkVisible(func(id util.ID) bool {
+		sb.WriteRune(b.chars[id].Rune)
+		return true
+	})
+	return sb.String()
+}
+
+// Slice returns up to n visible characters starting at pos.
+func (b *Buffer) Slice(pos, n int) string {
+	var sb strings.Builder
+	i := 0
+	b.order.WalkVisible(func(id util.ID) bool {
+		if i >= pos && i < pos+n {
+			sb.WriteRune(b.chars[id].Rune)
+		}
+		i++
+		return i < pos+n
+	})
+	return sb.String()
+}
+
+// VisibleIDs returns the IDs of all visible characters in order.
+func (b *Buffer) VisibleIDs() []util.ID {
+	out := make([]util.ID, 0, b.Len())
+	b.order.WalkVisible(func(id util.ID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// RangeIDs returns the IDs of visible characters in [pos, pos+n).
+func (b *Buffer) RangeIDs(pos, n int) []util.ID {
+	var out []util.ID
+	i := 0
+	b.order.WalkVisible(func(id util.ID) bool {
+		if i >= pos && i < pos+n {
+			out = append(out, id)
+		}
+		i++
+		return i < pos+n
+	})
+	return out
+}
+
+// TextAt reconstructs the document text as it was at instant t: characters
+// created at or before t and not yet deleted at t, in chain order. This is
+// the TeNDaX versioning primitive — tombstones make time travel a pure
+// filter over the stable chain.
+func (b *Buffer) TextAt(t time.Time) string {
+	var sb strings.Builder
+	b.order.Walk(func(id util.ID, _ bool) bool {
+		ch := b.chars[id]
+		if ch.Created.After(t) {
+			return true
+		}
+		if ch.Deleted && !ch.DeletedAt.After(t) {
+			return true
+		}
+		sb.WriteRune(ch.Rune)
+		return true
+	})
+	return sb.String()
+}
+
+// AllChars returns a copy of every character instance, in chain order
+// (tombstones included): the persistent form of the document.
+func (b *Buffer) AllChars() []Char {
+	out := make([]Char, 0, b.TotalLen())
+	b.order.Walk(func(id util.ID, _ bool) bool {
+		out = append(out, *b.chars[id])
+		return true
+	})
+	return out
+}
+
+// Authors returns the distinct authors of visible characters, sorted.
+func (b *Buffer) Authors() []string {
+	set := map[string]bool{}
+	b.order.WalkVisible(func(id util.ID) bool {
+		set[b.chars[id].Author] = true
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckInvariants verifies the structural invariants of the buffer: the
+// chain is a single path covering all chars, order matches the chain, and
+// visible counts agree. Used by tests and failure injection.
+func (b *Buffer) CheckInvariants() error {
+	if len(b.chars) == 0 {
+		if b.order.Len() != 0 {
+			return errors.New("texttree: empty chars but non-empty order")
+		}
+		return nil
+	}
+	var chain []util.ID
+	seen := map[util.ID]bool{}
+	for id := b.head; !id.IsNil(); {
+		if seen[id] {
+			return fmt.Errorf("texttree: cycle at %v", id)
+		}
+		seen[id] = true
+		chain = append(chain, id)
+		ch := b.chars[id]
+		if ch == nil {
+			return fmt.Errorf("texttree: chain references missing %v", id)
+		}
+		if !ch.Next.IsNil() {
+			n := b.chars[ch.Next]
+			if n == nil {
+				return fmt.Errorf("texttree: %v.Next missing", id)
+			}
+			if n.Prev != id {
+				return fmt.Errorf("texttree: broken back-link at %v", ch.Next)
+			}
+		}
+		id = ch.Next
+	}
+	if len(chain) != len(b.chars) {
+		return fmt.Errorf("texttree: chain covers %d of %d chars", len(chain), len(b.chars))
+	}
+	var inOrder []util.ID
+	visible := 0
+	b.order.Walk(func(id util.ID, vis bool) bool {
+		inOrder = append(inOrder, id)
+		if vis != !b.chars[id].Deleted {
+			inOrder = nil
+			return false
+		}
+		if vis {
+			visible++
+		}
+		return true
+	})
+	if inOrder == nil {
+		return errors.New("texttree: order visibility disagrees with char state")
+	}
+	if len(inOrder) != len(chain) {
+		return fmt.Errorf("texttree: order has %d nodes, chain %d", len(inOrder), len(chain))
+	}
+	for i := range chain {
+		if chain[i] != inOrder[i] {
+			return fmt.Errorf("texttree: order/chain disagree at %d: %v vs %v", i, inOrder[i], chain[i])
+		}
+	}
+	if visible != b.order.VisibleLen() {
+		return fmt.Errorf("texttree: visible count %d vs %d", visible, b.order.VisibleLen())
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package texttree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tendax/internal/util"
+)
+
+func TestOrderInsertAfterAndVisibleAt(t *testing.T) {
+	o := NewOrder()
+	ids := make([]util.ID, 5)
+	var gen util.IDGen
+	prev := util.NilID
+	for i := range ids {
+		ids[i] = gen.Next()
+		o.InsertAfter(prev, ids[i], true)
+		prev = ids[i]
+	}
+	if o.Len() != 5 || o.VisibleLen() != 5 {
+		t.Fatalf("Len=%d VisibleLen=%d", o.Len(), o.VisibleLen())
+	}
+	for i, want := range ids {
+		got, ok := o.VisibleAt(i)
+		if !ok || got != want {
+			t.Fatalf("VisibleAt(%d) = %v, want %v", i, got, want)
+		}
+		rank, ok := o.VisibleRank(want)
+		if !ok || rank != i {
+			t.Fatalf("VisibleRank(%v) = %d, want %d", want, rank, i)
+		}
+	}
+	if _, ok := o.VisibleAt(5); ok {
+		t.Fatal("VisibleAt past end succeeded")
+	}
+}
+
+func TestOrderInsertAtFrontAndMiddle(t *testing.T) {
+	o := NewOrder()
+	var gen util.IDGen
+	a, b, c := gen.Next(), gen.Next(), gen.Next()
+	o.InsertAfter(util.NilID, b, true)
+	o.InsertAfter(util.NilID, a, true) // front
+	o.InsertAfter(b, c, true)          // after b
+	var got []util.ID
+	o.WalkVisible(func(id util.ID) bool { got = append(got, id); return true })
+	want := []util.ID{a, b, c}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderVisibilityCounts(t *testing.T) {
+	o := NewOrder()
+	var gen util.IDGen
+	prev := util.NilID
+	ids := make([]util.ID, 10)
+	for i := range ids {
+		ids[i] = gen.Next()
+		o.InsertAfter(prev, ids[i], true)
+		prev = ids[i]
+	}
+	o.SetVisible(ids[3], false)
+	o.SetVisible(ids[7], false)
+	if o.VisibleLen() != 8 {
+		t.Fatalf("VisibleLen = %d, want 8", o.VisibleLen())
+	}
+	// Position 3 is now ids[4].
+	got, _ := o.VisibleAt(3)
+	if got != ids[4] {
+		t.Fatalf("VisibleAt(3) = %v, want %v", got, ids[4])
+	}
+	// Tombstone rank equals preceding visible count.
+	rank, ok := o.VisibleRank(ids[3])
+	if !ok || rank != 3 {
+		t.Fatalf("tombstone rank = %d, %v", rank, ok)
+	}
+	o.SetVisible(ids[3], true)
+	if o.VisibleLen() != 9 {
+		t.Fatal("undelete did not restore count")
+	}
+}
+
+func TestOrderDeterministicShape(t *testing.T) {
+	// Rebuilding with the same IDs in the same order gives identical
+	// traversals (priorities are derived from IDs).
+	build := func() []util.ID {
+		o := NewOrder()
+		prev := util.NilID
+		for i := 1; i <= 100; i++ {
+			id := util.ID(i * 7)
+			o.InsertAfter(prev, id, i%3 != 0)
+			prev = id
+		}
+		var out []util.ID
+		o.Walk(func(id util.ID, _ bool) bool { out = append(out, id); return true })
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rebuild produced different order")
+		}
+	}
+}
+
+func bufWithText(t *testing.T, text string) (*Buffer, *util.IDGen) {
+	t.Helper()
+	b := NewBuffer()
+	var gen util.IDGen
+	prev := util.NilID
+	for _, r := range text {
+		id := gen.Next()
+		if _, err := b.InsertAfter(prev, Char{ID: id, Rune: r, Author: "u1", Created: time.Unix(1, 0)}); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	return b, &gen
+}
+
+func TestBufferInsertAndText(t *testing.T) {
+	b, _ := bufWithText(t, "hello")
+	if b.Text() != "hello" {
+		t.Fatalf("Text = %q", b.Text())
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferInsertMiddleViaPredecessor(t *testing.T) {
+	b, gen := bufWithText(t, "held")
+	// Insert 'l' at position 3 -> "hell", then 'o' at 4 -> ... build "hello world" piecemeal.
+	prev, err := b.PredecessorForInsert(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InsertAfter(prev, Char{ID: gen.Next(), Rune: 'l', Author: "u2", Created: time.Unix(2, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != "helld" {
+		t.Fatalf("Text = %q, want helld", b.Text())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferDeleteUndelete(t *testing.T) {
+	b, _ := bufWithText(t, "abcdef")
+	id, _ := b.IDAt(2) // 'c'
+	if err := b.Delete(id, "u2", time.Unix(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != "abdef" {
+		t.Fatalf("Text after delete = %q", b.Text())
+	}
+	if b.TotalLen() != 6 {
+		t.Fatal("tombstone was physically removed")
+	}
+	if err := b.Undelete(id); err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != "abcdef" {
+		t.Fatalf("Text after undelete = %q", b.Text())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferDeleteIsIdempotent(t *testing.T) {
+	b, _ := bufWithText(t, "ab")
+	id, _ := b.IDAt(0)
+	if err := b.Delete(id, "u1", time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(id, "u2", time.Unix(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := b.Char(id)
+	if ch.DeletedBy != "u1" {
+		t.Fatal("second delete overwrote tombstone metadata")
+	}
+}
+
+func TestBufferInsertAfterTombstone(t *testing.T) {
+	b, gen := bufWithText(t, "ab")
+	id0, _ := b.IDAt(0)
+	if err := b.Delete(id0, "u1", time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Chain insert directly after the tombstone.
+	if _, err := b.InsertAfter(id0, Char{ID: gen.Next(), Rune: 'X', Author: "u1", Created: time.Unix(3, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != "Xb" {
+		t.Fatalf("Text = %q, want Xb", b.Text())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferTextAtTimeTravel(t *testing.T) {
+	b := NewBuffer()
+	var gen util.IDGen
+	prev := util.NilID
+	// t=1..5: type "abcde", one char per second.
+	ids := make([]util.ID, 5)
+	for i, r := range "abcde" {
+		ids[i] = gen.Next()
+		b.InsertAfter(prev, Char{ID: ids[i], Rune: r, Author: "u1", Created: time.Unix(int64(i+1), 0)})
+		prev = ids[i]
+	}
+	// t=10: delete 'b'.
+	b.Delete(ids[1], "u1", time.Unix(10, 0))
+	// t=12: insert 'X' after 'c'.
+	b.InsertAfter(ids[2], Char{ID: gen.Next(), Rune: 'X', Author: "u2", Created: time.Unix(12, 0)})
+
+	cases := []struct {
+		at   int64
+		want string
+	}{
+		{0, ""},
+		{1, "a"},
+		{3, "abc"},
+		{5, "abcde"},
+		{10, "acde"},
+		{12, "acXde"},
+	}
+	for _, c := range cases {
+		if got := b.TextAt(time.Unix(c.at, 0)); got != c.want {
+			t.Fatalf("TextAt(%d) = %q, want %q", c.at, got, c.want)
+		}
+	}
+	if b.Text() != "acXde" {
+		t.Fatalf("current Text = %q", b.Text())
+	}
+}
+
+func TestBufferLoadRoundTrip(t *testing.T) {
+	b, gen := bufWithText(t, "persistent text")
+	id, _ := b.IDAt(3)
+	b.Delete(id, "u1", time.Unix(9, 0))
+	prev, _ := b.PredecessorForInsert(0)
+	b.InsertAfter(prev, Char{ID: gen.Next(), Rune: '>', Author: "u2", Created: time.Unix(10, 0)})
+
+	rows := b.AllChars()
+	// Shuffle rows to prove Load does not depend on row order.
+	rng := util.NewRand(99)
+	for i := len(rows) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		rows[i], rows[j] = rows[j], rows[i]
+	}
+	b2, err := Load(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Text() != b.Text() {
+		t.Fatalf("Load round trip: %q vs %q", b2.Text(), b.Text())
+	}
+	if b2.TotalLen() != b.TotalLen() {
+		t.Fatal("tombstones lost in round trip")
+	}
+	if err := b2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferLoadRejectsCorruptChains(t *testing.T) {
+	var gen util.IDGen
+	a, b, c := gen.Next(), gen.Next(), gen.Next()
+	// Two heads.
+	_, err := Load([]Char{
+		{ID: a, Rune: 'a', Next: c},
+		{ID: b, Rune: 'b'},
+		{ID: c, Rune: 'c', Prev: a},
+	})
+	if err == nil {
+		t.Fatal("two-headed chain accepted")
+	}
+	// Cycle.
+	_, err = Load([]Char{
+		{ID: a, Rune: 'a', Next: b},
+		{ID: b, Rune: 'b', Prev: a, Next: a},
+	})
+	if err == nil {
+		t.Fatal("cyclic chain accepted")
+	}
+}
+
+func TestBufferSliceAndRangeIDs(t *testing.T) {
+	b, _ := bufWithText(t, "0123456789")
+	if got := b.Slice(3, 4); got != "3456" {
+		t.Fatalf("Slice(3,4) = %q", got)
+	}
+	ids := b.RangeIDs(3, 4)
+	if len(ids) != 4 {
+		t.Fatalf("RangeIDs returned %d ids", len(ids))
+	}
+	pos, ok := b.PosOf(ids[0])
+	if !ok || pos != 3 {
+		t.Fatalf("PosOf first range id = %d, %v", pos, ok)
+	}
+}
+
+func TestBufferAuthors(t *testing.T) {
+	b := NewBuffer()
+	var gen util.IDGen
+	prev := util.NilID
+	for i, r := range "abc" {
+		id := gen.Next()
+		b.InsertAfter(prev, Char{ID: id, Rune: r, Author: fmt.Sprintf("user%d", i%2), Created: time.Unix(1, 0)})
+		prev = id
+	}
+	authors := b.Authors()
+	if len(authors) != 2 || authors[0] != "user0" || authors[1] != "user1" {
+		t.Fatalf("Authors = %v", authors)
+	}
+}
+
+// TestBufferRandomisedAgainstReference drives the buffer with random
+// position-based inserts and deletes and compares against a []rune model.
+func TestBufferRandomisedAgainstReference(t *testing.T) {
+	rng := util.NewRand(7)
+	var gen util.IDGen
+	b := NewBuffer()
+	var ref []rune
+	now := int64(1)
+	for step := 0; step < 4000; step++ {
+		now++
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			pos := rng.Intn(len(ref) + 1)
+			r := rune('a' + rng.Intn(26))
+			prev, err := b.PredecessorForInsert(pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.InsertAfter(prev, Char{ID: gen.Next(), Rune: r, Author: "u", Created: time.Unix(now, 0)}); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref[:pos], append([]rune{r}, ref[pos:]...)...)
+		} else {
+			pos := rng.Intn(len(ref))
+			id, ok := b.IDAt(pos)
+			if !ok {
+				t.Fatalf("step %d: IDAt(%d) failed", step, pos)
+			}
+			if err := b.Delete(id, "u", time.Unix(now, 0)); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref[:pos], ref[pos+1:]...)
+		}
+		if step%500 == 0 {
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if b.Text() != string(ref) {
+		t.Fatalf("buffer diverged from reference:\n%q\n%q",
+			firstN(b.Text(), 80), firstN(string(ref), 80))
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func firstN(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func TestBufferUnicode(t *testing.T) {
+	b, _ := bufWithText(t, "héllo wörld — 日本語")
+	if b.Text() != "héllo wörld — 日本語" {
+		t.Fatalf("unicode text mangled: %q", b.Text())
+	}
+	if b.Len() != len([]rune("héllo wörld — 日本語")) {
+		t.Fatal("rune count wrong")
+	}
+	if !strings.Contains(b.Text(), "日本語") {
+		t.Fatal("CJK lost")
+	}
+}

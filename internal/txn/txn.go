@@ -1,0 +1,171 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"tendax/internal/wal"
+)
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+// ErrNotActive reports an operation on a finished transaction.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// UndoFunc reverses one operation of a transaction during a runtime abort.
+// The storage layer registers one per mutation; it must write the matching
+// compensation log record itself.
+type UndoFunc func() error
+
+// Txn is one transaction: a unit of atomicity, durability and isolation.
+// A Txn is not safe for concurrent use by multiple goroutines.
+type Txn struct {
+	id      uint64
+	mgr     *Manager
+	lastLSN wal.LSN
+	undo    []UndoFunc
+	state   State
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// LastLSN returns the LSN of the transaction's most recent log record; the
+// storage layer uses it to chain undo records.
+func (t *Txn) LastLSN() wal.LSN { return t.lastLSN }
+
+// SetLastLSN records the transaction's most recent log record.
+func (t *Txn) SetLastLSN(lsn wal.LSN) { t.lastLSN = lsn }
+
+// OnUndo registers fn to be run (in reverse order) if the transaction
+// aborts.
+func (t *Txn) OnUndo(fn UndoFunc) { t.undo = append(t.undo, fn) }
+
+// Lock acquires key in mode under strict 2PL; the lock is held until the
+// transaction finishes.
+func (t *Txn) Lock(key string, mode Mode) error {
+	if t.state != Active {
+		return ErrNotActive
+	}
+	return t.mgr.locks.Acquire(t.id, key, mode)
+}
+
+// Commit makes the transaction's effects durable and visible, then releases
+// its locks.
+func (t *Txn) Commit() error {
+	if t.state != Active {
+		return ErrNotActive
+	}
+	lsn, err := t.mgr.log.Append(&wal.Record{Type: wal.RecCommit, TxnID: t.id, PrevLSN: t.lastLSN})
+	if err != nil {
+		return err
+	}
+	t.lastLSN = lsn
+	if err := t.mgr.log.Flush(); err != nil {
+		return err
+	}
+	t.state = Committed
+	t.mgr.locks.ReleaseAll(t.id)
+	t.mgr.finish(t.id)
+	return nil
+}
+
+// Abort rolls back every operation of the transaction (newest first), logs
+// the abort, and releases its locks.
+func (t *Txn) Abort() error {
+	if t.state != Active {
+		return ErrNotActive
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i](); err != nil {
+			return err
+		}
+	}
+	lsn, err := t.mgr.log.Append(&wal.Record{Type: wal.RecAbort, TxnID: t.id, PrevLSN: t.lastLSN})
+	if err != nil {
+		return err
+	}
+	t.lastLSN = lsn
+	if err := t.mgr.log.Flush(); err != nil {
+		return err
+	}
+	t.state = Aborted
+	t.mgr.locks.ReleaseAll(t.id)
+	t.mgr.finish(t.id)
+	return nil
+}
+
+// Manager creates transactions and tracks the active set.
+type Manager struct {
+	log    *wal.Log
+	locks  *LockManager
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	active map[uint64]*Txn
+}
+
+// NewManager returns a transaction manager over log and locks.
+func NewManager(log *wal.Log, locks *LockManager) *Manager {
+	return &Manager{log: log, locks: locks, active: make(map[uint64]*Txn)}
+}
+
+// SeedIDs makes future transaction IDs strictly greater than floor (used
+// after recovery so new transactions do not collide with logged ones).
+func (m *Manager) SeedIDs(floor uint64) {
+	for {
+		cur := m.nextID.Load()
+		if cur >= floor {
+			return
+		}
+		if m.nextID.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() (*Txn, error) {
+	id := m.nextID.Add(1)
+	t := &Txn{id: id, mgr: m, state: Active}
+	lsn, err := m.log.Append(&wal.Record{Type: wal.RecBegin, TxnID: id})
+	if err != nil {
+		return nil, err
+	}
+	t.lastLSN = lsn
+	m.mu.Lock()
+	m.active[id] = t
+	m.mu.Unlock()
+	return t, nil
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Log exposes the write-ahead log for the storage layer.
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// Locks exposes the lock manager.
+func (m *Manager) Locks() *LockManager { return m.locks }
+
+func (m *Manager) finish(id uint64) {
+	m.mu.Lock()
+	delete(m.active, id)
+	m.mu.Unlock()
+}

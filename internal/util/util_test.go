@@ -1,0 +1,188 @@
+package util
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIDGenMonotonic(t *testing.T) {
+	var g IDGen
+	prev := NilID
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if !prev.Less(id) {
+			t.Fatalf("id %v not greater than %v", id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestIDGenSeed(t *testing.T) {
+	var g IDGen
+	g.Seed(100)
+	if id := g.Next(); id <= 100 {
+		t.Fatalf("post-seed id = %v", id)
+	}
+	g.Seed(50) // lower seed must not rewind
+	if id := g.Next(); id <= 101 {
+		t.Fatalf("seed rewound generator: %v", id)
+	}
+}
+
+func TestIDGenConcurrentUnique(t *testing.T) {
+	var g IDGen
+	const goroutines, per = 8, 1000
+	out := make(chan ID, goroutines*per)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				out <- g.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[ID]bool, goroutines*per)
+	for id := range out {
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIDBytesRoundTripAndOrder(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ida, idb := ID(a), ID(b)
+		if IDFromBytes(ida.Bytes()) != ida {
+			return false
+		}
+		// Byte order == numeric order.
+		ba, bb := ida.Bytes(), idb.Bytes()
+		less := false
+		for i := range ba {
+			if ba[i] != bb[i] {
+				less = ba[i] < bb[i]
+				break
+			}
+		}
+		if a == b {
+			return string(ba) == string(bb)
+		}
+		return less == (a < b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDFromShortBytes(t *testing.T) {
+	if IDFromBytes([]byte{1, 2}) != NilID {
+		t.Fatal("short bytes decoded to non-nil ID")
+	}
+}
+
+func TestSystemClockMonotone(t *testing.T) {
+	c := NewSystemClock()
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if !now.After(prev) {
+			t.Fatal("system clock went backwards or stalled")
+		}
+		prev = now
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewFakeClock(start, time.Second)
+	t1 := c.Now()
+	t2 := c.Now()
+	if !t2.After(t1) {
+		t.Fatal("fake clock not advancing")
+	}
+	if t2.Sub(t1) != time.Second {
+		t.Fatalf("tick = %v", t2.Sub(t1))
+	}
+	c.Advance(time.Hour)
+	if c.Peek().Sub(t2) != time.Hour {
+		t.Fatal("Advance did not move the clock")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds collide on first draw")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandLetters(t *testing.T) {
+	r := NewRand(13)
+	s := r.Letters(1000)
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, c := range s {
+		if c != ' ' && (c < 'a' || c > 'z') {
+			t.Fatalf("unexpected rune %q", c)
+		}
+	}
+}
+
+func TestRandSplitIndependent(t *testing.T) {
+	r := NewRand(5)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}

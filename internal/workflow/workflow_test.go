@@ -1,0 +1,209 @@
+package workflow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/security"
+	"tendax/internal/util"
+)
+
+func fixture(t *testing.T) (*core.Engine, *security.Store, *Store, *core.Document) {
+	t.Helper()
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { database.Close() })
+	eng, err := core.NewEngine(database, util.NewFakeClock(time.Unix(1_000_000, 0).UTC(), time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewStore(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := NewStore(eng, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec.CreateUser("coordinator", "pw")
+	sec.CreateUser("tina", "pw", "translator")
+	sec.CreateUser("vera", "pw", "verifier")
+	doc, err := eng.CreateDocument("coordinator", "contract")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.InsertText("coordinator", 0, "The quick brown fox. Der schnelle braune Fuchs?")
+	return eng, sec, wf, doc
+}
+
+func TestDefineProcessAndTaskChain(t *testing.T) {
+	_, _, wf, doc := fixture(t)
+	p, err := wf.Define("coordinator", doc.ID(), "translate+verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := wf.AddTask("coordinator", p.ID, "translate", "translate §1 to German",
+		"role:translator", util.NilID, util.NilID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := wf.AddTask("coordinator", p.ID, "verify", "verify the translation",
+		"user:vera", util.NilID, util.NilID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := wf.Tasks(p.ID)
+	if err != nil || len(tasks) != 2 {
+		t.Fatalf("Tasks = %v, %v", tasks, err)
+	}
+	if tasks[0].ID != t1.ID || tasks[1].ID != t2.ID {
+		t.Fatal("task order wrong")
+	}
+
+	// tina holds role translator -> may accept t1; vera may not.
+	if err := wf.Accept("vera", t1.ID); !errors.Is(err, ErrNotAssignee) {
+		t.Fatalf("vera accepted translator task: %v", err)
+	}
+	if err := wf.Accept("tina", t1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Complete("tina", t1.ID, "done, see §2"); err != nil {
+		t.Fatal(err)
+	}
+	// Process still active: t2 open.
+	p2, _ := wf.ProcessByID(p.ID)
+	if p2.State != ProcActive {
+		t.Fatalf("process state = %s", p2.State)
+	}
+	if err := wf.Accept("vera", t2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Complete("vera", t2.ID, "verified"); err != nil {
+		t.Fatal(err)
+	}
+	p3, _ := wf.ProcessByID(p.ID)
+	if p3.State != ProcCompleted {
+		t.Fatalf("process not completed: %s", p3.State)
+	}
+}
+
+func TestDynamicInsertAndReroute(t *testing.T) {
+	_, _, wf, doc := fixture(t)
+	p, _ := wf.Define("coordinator", doc.ID(), "review")
+	t1, _ := wf.AddTask("coordinator", p.ID, "translate", "", "role:translator", util.NilID, util.NilID)
+	t3, _ := wf.AddTask("coordinator", p.ID, "approve", "", "user:coordinator", util.NilID, util.NilID)
+
+	// Route a verification step in between at run time.
+	t2, err := wf.InsertTaskAfter("coordinator", p.ID, t1.ID, "verify", "", "role:verifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, _ := wf.Tasks(p.ID)
+	if len(tasks) != 3 || tasks[0].ID != t1.ID || tasks[1].ID != t2.ID || tasks[2].ID != t3.ID {
+		got := make([]util.ID, len(tasks))
+		for i, task := range tasks {
+			got[i] = task.ID
+		}
+		t.Fatalf("order after insert = %v, want [%v %v %v]", got, t1.ID, t2.ID, t3.ID)
+	}
+
+	// Reroute the verify task to a specific user.
+	if err := wf.Reroute("coordinator", t2.ID, "user:tina"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := wf.TaskByID(t2.ID)
+	if got.Assignee != "user:tina" {
+		t.Fatalf("assignee = %s", got.Assignee)
+	}
+}
+
+func TestRejectAndSkip(t *testing.T) {
+	_, _, wf, doc := fixture(t)
+	p, _ := wf.Define("coordinator", doc.ID(), "flow")
+	task, _ := wf.AddTask("coordinator", p.ID, "translate", "", "user:tina", util.NilID, util.NilID)
+	if err := wf.Reject("tina", task.ID, "not my language pair"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := wf.TaskByID(task.ID)
+	if got.State != TaskRejected || got.Note != "not my language pair" {
+		t.Fatalf("task = %+v", got)
+	}
+	// Coordinator reroutes a fresh task and then skips it.
+	task2, _ := wf.AddTask("coordinator", p.ID, "translate", "", "user:vera", util.NilID, util.NilID)
+	if err := wf.Skip("coordinator", task2.ID); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := wf.TaskByID(task2.ID)
+	if got2.State != TaskSkipped {
+		t.Fatalf("state = %s", got2.State)
+	}
+	// All tasks closed -> process completed.
+	p2, _ := wf.ProcessByID(p.ID)
+	if p2.State != ProcCompleted {
+		t.Fatalf("process = %s", p2.State)
+	}
+}
+
+func TestWorkQueue(t *testing.T) {
+	eng, _, wf, doc := fixture(t)
+	doc2, _ := eng.CreateDocument("coordinator", "other")
+	doc2.InsertText("coordinator", 0, "text")
+	p1, _ := wf.Define("coordinator", doc.ID(), "p1")
+	p2, _ := wf.Define("coordinator", doc2.ID(), "p2")
+	wf.AddTask("coordinator", p1.ID, "translate", "", "role:translator", util.NilID, util.NilID)
+	wf.AddTask("coordinator", p2.ID, "translate", "", "user:tina", util.NilID, util.NilID)
+	wf.AddTask("coordinator", p2.ID, "verify", "", "user:vera", util.NilID, util.NilID)
+
+	queue, err := wf.NextFor("tina")
+	if err != nil || len(queue) != 2 {
+		t.Fatalf("tina's queue = %v, %v", queue, err)
+	}
+	queue, _ = wf.NextFor("vera")
+	if len(queue) != 1 || queue[0].Kind != "verify" {
+		t.Fatalf("vera's queue = %v", queue)
+	}
+}
+
+func TestTaskAnchoredToRange(t *testing.T) {
+	_, _, wf, doc := fixture(t)
+	metas, err := doc.RangeMeta(4, 5) // "quick"
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := wf.Define("coordinator", doc.ID(), "anchored")
+	task, err := wf.AddTask("coordinator", p.ID, "verify", "check this word",
+		"user:vera", metas[0].ID, metas[len(metas)-1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := wf.TaskByID(task.ID)
+	if got.Start != metas[0].ID || got.End != metas[4].ID {
+		t.Fatal("anchors lost")
+	}
+}
+
+func TestStateTransitionGuards(t *testing.T) {
+	_, _, wf, doc := fixture(t)
+	p, _ := wf.Define("coordinator", doc.ID(), "guards")
+	task, _ := wf.AddTask("coordinator", p.ID, "t", "", "user:tina", util.NilID, util.NilID)
+	wf.Accept("tina", task.ID)
+	if err := wf.Accept("tina", task.ID); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double accept: %v", err)
+	}
+	wf.Complete("tina", task.ID, "")
+	if err := wf.Complete("tina", task.ID, ""); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double complete: %v", err)
+	}
+	if err := wf.Reroute("coordinator", task.ID, "user:vera"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("reroute of done task: %v", err)
+	}
+	// Adding a task to a completed process fails.
+	if _, err := wf.AddTask("coordinator", p.ID, "x", "", "user:tina", util.NilID, util.NilID); !errors.Is(err, ErrBadState) {
+		t.Fatalf("task added to completed process: %v", err)
+	}
+}
