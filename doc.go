@@ -14,8 +14,9 @@
 //   - internal/security, workflow, folders, lineage, mining, search — the
 //     subsystems demonstrated in the paper
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduction of every figure and demonstrated capability. bench_test.go
-// in this directory holds one benchmark per experiment; cmd/tendax-bench
-// prints the corresponding tables.
+// See DESIGN.md for the architecture (including the group-commit pipeline,
+// §3) and EXPERIMENTS.md for the reproduction of every figure and
+// demonstrated capability. bench_test.go and groupcommit_bench_test.go in
+// this directory hold one benchmark per experiment (E1–E11);
+// cmd/tendax-bench prints the corresponding tables.
 package tendax

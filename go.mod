@@ -1,0 +1,3 @@
+module tendax
+
+go 1.21

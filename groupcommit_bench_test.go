@@ -1,0 +1,81 @@
+package tendax_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+)
+
+// BenchmarkE11GroupCommit measures durable-commit throughput on a
+// file-backed store with N concurrent writers, with and without the WAL
+// group-commit pipeline (EXPERIMENTS.md E11). "fsync-per-commit" is the
+// pre-pipeline baseline: every commit performs its own synchronous flush
+// under the log mutex. "group-commit" runs the background flusher:
+// committers append, release their locks, and share one fsync per batch.
+// The reported syncs/op metric shows the batching directly.
+func BenchmarkE11GroupCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"fsync-per-commit", true},
+		{"group-commit", false},
+	} {
+		for _, writers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
+				database, err := db.Open(db.Options{
+					Dir:                b.TempDir(),
+					DisableGroupCommit: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer database.Close()
+				eng, err := core.NewEngine(database, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One document per writer: measures pure WAL durability
+				// batching, with no contention on a shared document.
+				docs := make([]*core.Document, writers)
+				for i := range docs {
+					if docs[i], err = eng.CreateDocument("u", fmt.Sprintf("e11-%d", i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				per := b.N / writers
+				if per == 0 {
+					per = 1
+				}
+				syncs0 := database.Log().SyncCount()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				errs := make(chan error, writers)
+				for i := 0; i < writers; i++ {
+					wg.Add(1)
+					go func(d *core.Document) {
+						defer wg.Done()
+						for j := 0; j < per; j++ {
+							if _, err := d.AppendText("u", "x"); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(docs[i])
+				}
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+				ops := writers * per
+				b.ReportMetric(float64(database.Log().SyncCount()-syncs0)/float64(ops), "syncs/op")
+			})
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"tendax/internal/texttree"
 	"tendax/internal/txn"
 	"tendax/internal/util"
+	"tendax/internal/wal"
 )
 
 // Document is an open handle on one TeNDaX document. All editing methods
@@ -141,13 +142,20 @@ func (d *Document) Info() DocInfo {
 	}
 }
 
-// Buffer grants read access to the underlying buffer for subsystems
-// (lineage, search) that need character-level metadata. Callers must not
-// mutate it.
-func (d *Document) Buffer() *texttree.Buffer {
+// Buffer returns an independent snapshot of the underlying buffer for
+// callers that need bulk character-level access (the fine-grained readers
+// in this package go through CharMetaAt/RangeMeta instead). The snapshot
+// is built under the document lock, so it is internally consistent and
+// safe to read while concurrent writers keep editing; changes made to the
+// live document after the call are not reflected in it.
+func (d *Document) Buffer() (*texttree.Buffer, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.buf
+	snap, err := texttree.Load(d.buf.AllChars())
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot of document %v: %w", d.id, err)
+	}
+	return snap, nil
 }
 
 // InsertText types text at visible position pos on behalf of user, as one
@@ -156,12 +164,27 @@ func (d *Document) InsertText(user string, pos int, text string) (util.ID, error
 	return d.insert(user, pos, text, "insert", util.NilID, nil)
 }
 
+// InsertTextAsync is InsertText without the durability wait: it returns as
+// soon as the editing transaction has committed and the document lock is
+// free, along with the commit LSN. The caller must confirm durability via
+// Engine.WaitDurable(lsn) before acknowledging the edit to its user; until
+// then a crash may roll the edit back.
+func (d *Document) InsertTextAsync(user string, pos int, text string) (util.ID, wal.LSN, error) {
+	return d.insertAsync(user, pos, text, "insert", util.NilID, nil)
+}
+
 // AppendText types text at the end of the document. Unlike InsertText with
 // a caller-computed position, the end position is resolved under the
 // document lock, so concurrent appenders never interleave inside each
 // other's runs.
 func (d *Document) AppendText(user string, text string) (util.ID, error) {
 	return d.insert(user, -1, text, "insert", util.NilID, nil)
+}
+
+// AppendTextAsync is AppendText without the durability wait; see
+// InsertTextAsync.
+func (d *Document) AppendTextAsync(user string, text string) (util.ID, wal.LSN, error) {
+	return d.insertAsync(user, -1, text, "insert", util.NilID, nil)
 }
 
 // Clipboard is the result of a Copy: the text plus the identities of the
@@ -205,16 +228,34 @@ func (d *Document) Paste(user string, pos int, clip Clipboard) (util.ID, error) 
 	return d.insert(user, pos, clip.Text, "paste", clip.SrcDoc, clip.SrcChars)
 }
 
-// insert implements InsertText/Paste/notes: one transaction that chains the
-// new character rows, rewrites the two neighbour links, logs the operation
-// and refreshes document metadata.
+// insert is insertAsync plus the durability wait — the transactional
+// contract of the original API: when it returns, the edit is on stable
+// storage.
 func (d *Document) insert(user string, pos int, text, kind string, srcDoc util.ID, srcChars []util.ID) (util.ID, error) {
-	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+	opID, lsn, err := d.insertAsync(user, pos, text, kind, srcDoc, srcChars)
+	if err != nil {
 		return util.NilID, err
+	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return util.NilID, err
+	}
+	return opID, nil
+}
+
+// insertAsync implements InsertText/Paste/notes: one transaction that
+// batch-inserts the new character rows, rewrites the two neighbour links,
+// logs the operation and refreshes document metadata. The commit is
+// asynchronous and the durability wait is left to the caller, crucially
+// outside d.mu: concurrent editors of the same document serialize only on
+// the in-memory apply and then share one group-commit fsync, instead of
+// queueing behind each other's disk writes.
+func (d *Document) insertAsync(user string, pos int, text, kind string, srcDoc util.ID, srcChars []util.ID) (util.ID, wal.LSN, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, 0, err
 	}
 	runes := []rune(text)
 	if len(runes) == 0 {
-		return util.NilID, fmt.Errorf("core: empty %s", kind)
+		return util.NilID, 0, fmt.Errorf("core: empty %s", kind)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -224,7 +265,7 @@ func (d *Document) insert(user string, pos int, text, kind string, srcDoc util.I
 	}
 	prevID, err := d.buf.PredecessorForInsert(pos)
 	if err != nil {
-		return util.NilID, fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.buf.Len())
+		return util.NilID, 0, fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.buf.Len())
 	}
 	succID := d.buf.ChainSuccessor(prevID)
 	now := d.eng.clock.Now()
@@ -256,11 +297,13 @@ func (d *Document) insert(user string, pos int, text, kind string, srcDoc util.I
 		chars[i] = ch
 	}
 
-	err = d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
+		rows := make([]db.Row, len(chars))
 		for i := range chars {
-			if _, err := d.eng.tChars.Insert(tx, d.rowFromChar(&chars[i])); err != nil {
-				return err
-			}
+			rows[i] = d.rowFromChar(&chars[i])
+		}
+		if _, err := d.eng.tChars.InsertBatch(tx, rows); err != nil {
+			return err
 		}
 		if !prevID.IsNil() {
 			pc, _ := d.buf.Char(prevID)
@@ -285,14 +328,14 @@ func (d *Document) insert(user string, pos int, text, kind string, srcDoc util.I
 		return d.updateDocRowLocked(tx, user, now, d.buf.Len()+len(runes))
 	})
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
 
 	// Transaction committed: apply to the in-memory buffer and notify.
 	at := prevID
 	for i := range chars {
 		if _, err := d.buf.InsertAfter(at, chars[i]); err != nil {
-			return util.NilID, fmt.Errorf("core: buffer diverged: %w", err)
+			return util.NilID, 0, fmt.Errorf("core: buffer diverged: %w", err)
 		}
 		at = chars[i].ID
 	}
@@ -306,29 +349,42 @@ func (d *Document) insert(user string, pos int, text, kind string, srcDoc util.I
 		Doc: d.id, Kind: evKind, User: user, OpID: opID,
 		Pos: pos, Text: text, N: len(runes), At: now,
 	})
-	return opID, nil
+	return opID, lsn, nil
 }
 
 // DeleteRange deletes n visible characters starting at pos, as one
 // transaction. Characters become tombstones (logical deletion), preserving
 // history, versions and provenance.
 func (d *Document) DeleteRange(user string, pos, n int) (util.ID, error) {
-	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+	opID, lsn, err := d.DeleteRangeAsync(user, pos, n)
+	if err != nil {
 		return util.NilID, err
 	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return util.NilID, err
+	}
+	return opID, nil
+}
+
+// DeleteRangeAsync is DeleteRange without the durability wait; see
+// InsertTextAsync for the contract.
+func (d *Document) DeleteRangeAsync(user string, pos, n int) (util.ID, wal.LSN, error) {
+	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
+		return util.NilID, 0, err
+	}
 	if n <= 0 {
-		return util.NilID, fmt.Errorf("core: delete of %d chars", n)
+		return util.NilID, 0, fmt.Errorf("core: delete of %d chars", n)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	ids := d.buf.RangeIDs(pos, n)
 	if len(ids) != n {
-		return util.NilID, fmt.Errorf("%w: delete [%d,%d) of %d chars", ErrRange, pos, pos+n, d.buf.Len())
+		return util.NilID, 0, fmt.Errorf("%w: delete [%d,%d) of %d chars", ErrRange, pos, pos+n, d.buf.Len())
 	}
 	now := d.eng.clock.Now()
 	opID := d.eng.ids.Next()
 
-	err := d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		for _, id := range ids {
 			ch, _ := d.buf.Char(id)
 			upd := *ch
@@ -346,7 +402,7 @@ func (d *Document) DeleteRange(user string, pos, n int) (util.ID, error) {
 		return d.updateDocRowLocked(tx, user, now, d.buf.Len()-n)
 	})
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
 	for _, id := range ids {
 		d.buf.Delete(id, user, now)
@@ -357,7 +413,7 @@ func (d *Document) DeleteRange(user string, pos, n int) (util.ID, error) {
 		Doc: d.id, Kind: awareness.EvDelete, User: user, OpID: opID,
 		Pos: pos, N: n, At: now,
 	})
-	return opID, nil
+	return opID, lsn, nil
 }
 
 // RecordRead logs that user read the document now (metadata for dynamic

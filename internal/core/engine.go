@@ -16,6 +16,7 @@ import (
 	"tendax/internal/db"
 	"tendax/internal/txn"
 	"tendax/internal/util"
+	"tendax/internal/wal"
 )
 
 // Right is an access right checked before operations.
@@ -215,14 +216,19 @@ func (e *Engine) CheckAccess(user string, doc util.ID, right Right) error {
 	return e.allowed(user, doc, right)
 }
 
-// withTxn runs fn inside a transaction, retrying on deadlock victims.
-func (e *Engine) withTxn(fn func(tx *txn.Txn) error) error {
+// withTxnAsync runs fn inside a transaction, retrying on deadlock victims,
+// and commits asynchronously: on return the transaction's effects are
+// committed and its locks released, but durability is only guaranteed once
+// WaitDurable succeeds for the returned LSN. Callers use it to get fsyncs
+// out of whatever lock they hold, so concurrent editors share one group
+// commit instead of queueing behind each other's disk writes.
+func (e *Engine) withTxnAsync(fn func(tx *txn.Txn) error) (wal.LSN, error) {
 	const retries = 8
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
 		tx, err := e.db.Begin()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := fn(tx); err != nil {
 			abortErr := tx.Abort()
@@ -231,15 +237,32 @@ func (e *Engine) withTxn(fn func(tx *txn.Txn) error) error {
 				time.Sleep(time.Duration(attempt+1) * time.Millisecond)
 				continue
 			}
-			return err
+			return 0, err
 		}
-		if err := tx.Commit(); err != nil {
-			return err
+		lsn, err := tx.CommitAsync()
+		if err != nil {
+			return 0, err
 		}
-		return nil
+		return lsn, nil
 	}
-	return fmt.Errorf("core: giving up after %d deadlock retries: %w", retries, lastErr)
+	return 0, fmt.Errorf("core: giving up after %d deadlock retries: %w", retries, lastErr)
 }
+
+// withTxn runs fn inside a transaction, retrying on deadlock victims, and
+// returns only once the commit is durable.
+func (e *Engine) withTxn(fn func(tx *txn.Txn) error) error {
+	lsn, err := e.withTxnAsync(fn)
+	if err != nil {
+		return err
+	}
+	return e.db.WaitDurable(lsn)
+}
+
+// WaitDurable blocks until the write-ahead log's durable horizon covers
+// lsn. Paired with the engine's *Async editing methods, it lets callers
+// (the server's connection pipeline) acknowledge an edit only after it is
+// on stable storage while other connections keep committing.
+func (e *Engine) WaitDurable(lsn wal.LSN) error { return e.db.WaitDurable(lsn) }
 
 // CreateDocument creates a new, empty document owned by user.
 func (e *Engine) CreateDocument(user, name string) (*Document, error) {

@@ -13,6 +13,13 @@ import (
 	"tendax/internal/wal"
 )
 
+// DefaultGroupCommitDelay is the max coalescing wait a file-backed store's
+// WAL flusher may add per batch when Options.GroupCommitDelay is unset. The
+// window is self-clocked — the flusher stops waiting as soon as the batch
+// matches the previous one, and a single writer never waits at all — so
+// this bounds the worst case rather than being paid every batch.
+const DefaultGroupCommitDelay = time.Millisecond
+
 // Options configures a Database.
 type Options struct {
 	// Dir holds the page file and write-ahead log. Empty means a fully
@@ -22,6 +29,17 @@ type Options struct {
 	PoolPages int
 	// LockTimeout bounds lock waits (default 10s).
 	LockTimeout time.Duration
+	// DisableGroupCommit forces every commit to pay its own fsync (the
+	// pre-group-commit behavior). Group commit is on by default for
+	// file-backed stores; in-memory stores (Dir == "") never start the
+	// flusher — syncs there are free, and tests rely on the synchronous
+	// zero-delay path.
+	DisableGroupCommit bool
+	// GroupCommitDelay is the max extra time the WAL flusher waits per
+	// batch to let more commits join. Zero means DefaultGroupCommitDelay;
+	// negative means no timed wait (flush as soon as the previous sync
+	// returns).
+	GroupCommitDelay time.Duration
 }
 
 const catalogTableID = 1
@@ -72,7 +90,24 @@ func Open(opts Options) (*Database, error) {
 			return nil, err
 		}
 	}
-	return openWith(disk, store, opts)
+	d, err := openWith(disk, store, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Group commit pays off exactly where fsync costs something: start the
+	// background flusher for file-backed stores only, after recovery (which
+	// flushes synchronously) has completed.
+	if opts.Dir != "" && !opts.DisableGroupCommit {
+		delay := opts.GroupCommitDelay
+		if delay == 0 {
+			delay = DefaultGroupCommitDelay
+		}
+		if delay < 0 {
+			delay = 0
+		}
+		d.log.StartGroupCommit(delay)
+	}
+	return d, nil
 }
 
 // OpenWith opens a database over explicit storage, letting tests inject
@@ -90,6 +125,13 @@ func openWith(disk storage.DiskManager, store wal.Store, opts Options) (*Databas
 	if err != nil {
 		return nil, err
 	}
+	// WAL-before-data: no dirty page may be flushed or evicted before the
+	// log records that produced its state are durable. With group commit,
+	// committed-but-unflushed log tails are routine, so the pool must hold
+	// page write-back at the log's durable horizon.
+	pool.SetWALBarrier(func(pageLSN uint64) error {
+		return log.WaitFlushed(wal.LSN(pageLSN))
+	})
 	stats, err := wal.Recover(log, pool)
 	if err != nil {
 		return nil, fmt.Errorf("db: recovery: %w", err)
@@ -287,6 +329,13 @@ func (d *Database) Close() error {
 	}
 	return d.disk.Close()
 }
+
+// WaitDurable blocks until every log record up to and including lsn is on
+// stable storage — the durability barrier paired with txn.CommitAsync.
+func (d *Database) WaitDurable(lsn wal.LSN) error { return d.log.WaitFlushed(lsn) }
+
+// Log exposes the write-ahead log (durability metrics, benchmarks).
+func (d *Database) Log() *wal.Log { return d.log }
 
 // TxnManager exposes the transaction manager (for subsystems that manage
 // their own transactions).

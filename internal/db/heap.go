@@ -140,6 +140,86 @@ func (h *Heap) Insert(tx *txn.Txn, rec []byte) (RID, error) {
 	return rid, nil
 }
 
+// InsertBatch appends recs to the heap under tx, returning one RID per
+// record in order. Unlike repeated Insert calls it fetches and latches each
+// heap page once per run of records placed on it rather than once per
+// record — the engine's hottest path (Document.insert) writes one row per
+// character, so a keystroke batch of n characters costs O(pages touched)
+// page acquisitions instead of O(n). Every record is still individually
+// write-ahead logged, exclusively locked and registered for undo.
+func (h *Heap) InsertBatch(tx *txn.Txn, recs [][]byte) ([]RID, error) {
+	for _, rec := range recs {
+		if len(rec) > storage.PageSize/2 {
+			return nil, fmt.Errorf("db: record of %d bytes exceeds max record size", len(rec))
+		}
+	}
+	rids := make([]RID, 0, len(recs))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 0; i < len(recs); {
+		pageID, err := h.pickPageLocked(len(recs[i]) + slotOverhead)
+		if err != nil {
+			return nil, err
+		}
+		pg, err := h.pool.Fetch(pageID)
+		if err != nil {
+			return nil, err
+		}
+		placed, err := func() (int, error) {
+			pg.Lock()
+			defer pg.Unlock()
+			sp := storage.Slotted(pg)
+			// Keep the free-space estimate honest on every exit: an error
+			// after records were placed (deadlock victim mid-batch) must
+			// not leave the map overstating this page's capacity.
+			defer func() { h.free[pageID] = sp.FreeSpace() }()
+			n := 0
+			for i+n < len(recs) {
+				rec := recs[i+n]
+				if n > 0 && sp.FreeSpace() < len(rec)+slotOverhead {
+					break // page exhausted mid-batch; continue on the next
+				}
+				slot := sp.NumSlots()
+				rid := RID{Page: pageID, Slot: slot}
+				if err := tx.Lock(lockKey(h.tableID, rid), txn.Exclusive); err != nil {
+					return n, err
+				}
+				lsn, err := h.log.Append(&wal.Record{
+					Type: wal.RecUpdate, TxnID: tx.ID(), PrevLSN: tx.LastLSN(),
+					Page: uint64(pageID), Slot: uint32(slot), Op: wal.OpInsert,
+					Owner: h.tableID, After: rec,
+				})
+				if err != nil {
+					return n, err
+				}
+				if err := sp.InsertAt(slot, rec); err != nil {
+					return n, err
+				}
+				pg.SetLSN(uint64(lsn))
+				prev := tx.LastLSN()
+				tx.SetLastLSN(lsn)
+				rids = append(rids, rid)
+				recCopy := rec
+				tx.OnUndo(func() error {
+					return h.compensate(tx, &wal.Record{
+						Type: wal.RecCLR, TxnID: tx.ID(), Page: uint64(pageID),
+						Slot: uint32(slot), Op: wal.OpDelete, Owner: h.tableID,
+						Before: recCopy, UndoNext: prev,
+					})
+				})
+				n++
+			}
+			return n, nil
+		}()
+		h.pool.Unpin(pageID, true)
+		if err != nil {
+			return nil, err
+		}
+		i += placed
+	}
+	return rids, nil
+}
+
 // Update replaces the record at rid with rec under tx.
 func (h *Heap) Update(tx *txn.Txn, rid RID, rec []byte) error {
 	if err := tx.Lock(lockKey(h.tableID, rid), txn.Exclusive); err != nil {

@@ -16,6 +16,7 @@ import (
 	"tendax/internal/protocol"
 	"tendax/internal/security"
 	"tendax/internal/util"
+	"tendax/internal/wal"
 )
 
 // Server hosts an engine on a TCP listener.
@@ -233,36 +234,41 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 			return fail(err)
 		}
 		return &protocol.Message{OK: true, Text: text}
+	// The three editing hot paths commit asynchronously and confirm
+	// durability with a per-connection barrier just before the ack: while
+	// this connection sleeps in WaitDurable, every other connection keeps
+	// applying and committing, so independent editors share one WAL fsync
+	// (group commit) instead of queueing behind each other's disk writes.
 	case protocol.OpInsert:
 		d, err := c.doc(req)
 		if err != nil {
 			return fail(err)
 		}
-		opID, err := d.InsertText(c.user, req.Pos, req.Text)
+		opID, lsn, err := d.InsertTextAsync(c.user, req.Pos, req.Text)
 		if err != nil {
 			return fail(err)
 		}
-		return &protocol.Message{OK: true, OpID: uint64(opID)}
+		return c.ackDurable(opID, lsn)
 	case protocol.OpAppend:
 		d, err := c.doc(req)
 		if err != nil {
 			return fail(err)
 		}
-		opID, err := d.AppendText(c.user, req.Text)
+		opID, lsn, err := d.AppendTextAsync(c.user, req.Text)
 		if err != nil {
 			return fail(err)
 		}
-		return &protocol.Message{OK: true, OpID: uint64(opID)}
+		return c.ackDurable(opID, lsn)
 	case protocol.OpDelete:
 		d, err := c.doc(req)
 		if err != nil {
 			return fail(err)
 		}
-		opID, err := d.DeleteRange(c.user, req.Pos, req.N)
+		opID, lsn, err := d.DeleteRangeAsync(c.user, req.Pos, req.N)
 		if err != nil {
 			return fail(err)
 		}
-		return &protocol.Message{OK: true, OpID: uint64(opID)}
+		return c.ackDurable(opID, lsn)
 	case protocol.OpCopy:
 		d, err := c.doc(req)
 		if err != nil {
@@ -408,6 +414,16 @@ func (c *conn) login(req *protocol.Message) *protocol.Message {
 
 func (c *conn) doc(req *protocol.Message) (*core.Document, error) {
 	return c.srv.eng.OpenDocument(util.ID(req.Doc))
+}
+
+// ackDurable turns a committed-but-not-yet-durable edit into a response,
+// waiting on the write-ahead log's durable horizon first. An edit is never
+// acknowledged to the editor before it is on stable storage.
+func (c *conn) ackDurable(opID util.ID, lsn wal.LSN) *protocol.Message {
+	if err := c.srv.eng.WaitDurable(lsn); err != nil {
+		return fail(err)
+	}
+	return &protocol.Message{OK: true, OpID: uint64(opID)}
 }
 
 // subscribe registers for a document's events and starts the push pump.

@@ -13,14 +13,15 @@ var ErrPoolFull = errors.New("storage: buffer pool full (all frames pinned)")
 // Pinned pages are never evicted; dirty victims are written back before
 // their frame is reused.
 type BufferPool struct {
-	mu     sync.Mutex
-	disk   DiskManager
-	frames []*Page
-	table  map[PageID]int // page id -> frame index
-	ref    []bool         // clock reference bits
-	hand   int
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	disk    DiskManager
+	frames  []*Page
+	table   map[PageID]int // page id -> frame index
+	ref     []bool         // clock reference bits
+	hand    int
+	hits    uint64
+	misses  uint64
+	barrier func(pageLSN uint64) error // WAL-before-data enforcement
 }
 
 // NewBufferPool creates a pool of capacity frames over disk. Capacity must
@@ -134,6 +135,17 @@ func (bp *BufferPool) FlushAll() error {
 	return bp.disk.Sync()
 }
 
+// SetWALBarrier installs the write-ahead-logging rule: before any dirty
+// page is written back (flush or eviction), fn is called with the page's
+// LSN and must not return until every log record up to that LSN is durable.
+// Without a barrier the pool writes pages freely (callers that flush the
+// log first, e.g. recovery-only pools and tests, need none).
+func (bp *BufferPool) SetWALBarrier(fn func(pageLSN uint64) error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.barrier = fn
+}
+
 // Stats returns cumulative hit and miss counts.
 func (bp *BufferPool) Stats() (hits, misses uint64) {
 	bp.mu.Lock()
@@ -157,6 +169,15 @@ func (bp *BufferPool) flushFrameLocked(idx int) error {
 	defer pg.Unlock()
 	if !pg.dirty {
 		return nil
+	}
+	// WAL rule: the log records behind this page's state must reach disk
+	// before the page does, or a crash leaves effects recovery cannot see.
+	// The barrier may sleep on the group-commit flusher; that is safe here
+	// because the flusher only touches the log store, never the pool.
+	if bp.barrier != nil {
+		if err := bp.barrier(pg.LSN()); err != nil {
+			return err
+		}
 	}
 	if err := bp.disk.WritePage(pg.id, pg.data[:]); err != nil {
 		return err

@@ -29,11 +29,12 @@ type UndoFunc func() error
 // Txn is one transaction: a unit of atomicity, durability and isolation.
 // A Txn is not safe for concurrent use by multiple goroutines.
 type Txn struct {
-	id      uint64
-	mgr     *Manager
-	lastLSN wal.LSN
-	undo    []UndoFunc
-	state   State
+	id        uint64
+	mgr       *Manager
+	lastLSN   wal.LSN
+	commitLSN wal.LSN
+	undo      []UndoFunc
+	state     State
 }
 
 // ID returns the transaction identifier.
@@ -62,24 +63,47 @@ func (t *Txn) Lock(key string, mode Mode) error {
 	return t.mgr.locks.Acquire(t.id, key, mode)
 }
 
-// Commit makes the transaction's effects durable and visible, then releases
-// its locks.
-func (t *Txn) Commit() error {
+// CommitAsync appends the transaction's commit record and releases its
+// locks, WITHOUT waiting for the record to reach disk. It returns the
+// commit LSN; the transaction is durable once the log's flushed horizon
+// covers that LSN (WaitDurable). Releasing locks before durability is safe:
+// any dependent transaction's commit record is appended after this one, so
+// group commit can never make the dependent durable first.
+func (t *Txn) CommitAsync() (wal.LSN, error) {
 	if t.state != Active {
-		return ErrNotActive
+		return 0, ErrNotActive
 	}
 	lsn, err := t.mgr.log.Append(&wal.Record{Type: wal.RecCommit, TxnID: t.id, PrevLSN: t.lastLSN})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	t.lastLSN = lsn
-	if err := t.mgr.log.Flush(); err != nil {
-		return err
-	}
+	t.commitLSN = lsn
 	t.state = Committed
 	t.mgr.locks.ReleaseAll(t.id)
 	t.mgr.finish(t.id)
-	return nil
+	return lsn, nil
+}
+
+// WaitDurable blocks until the transaction's commit record is durable. It
+// is a no-op error to call it before CommitAsync.
+func (t *Txn) WaitDurable() error {
+	if t.state != Committed {
+		return ErrNotActive
+	}
+	return t.mgr.log.WaitFlushed(t.commitLSN)
+}
+
+// CommitLSN returns the LSN of the commit record (zero before CommitAsync).
+func (t *Txn) CommitLSN() wal.LSN { return t.commitLSN }
+
+// Commit makes the transaction's effects durable and visible, then releases
+// its locks. It is CommitAsync followed by WaitDurable.
+func (t *Txn) Commit() error {
+	if _, err := t.CommitAsync(); err != nil {
+		return err
+	}
+	return t.WaitDurable()
 }
 
 // Abort rolls back every operation of the transaction (newest first), logs
@@ -163,6 +187,10 @@ func (m *Manager) Log() *wal.Log { return m.log }
 
 // Locks exposes the lock manager.
 func (m *Manager) Locks() *LockManager { return m.locks }
+
+// WaitDurable blocks until the log's durable horizon covers lsn — the
+// durability barrier used by callers that committed with CommitAsync.
+func (m *Manager) WaitDurable(lsn wal.LSN) error { return m.log.WaitFlushed(lsn) }
 
 func (m *Manager) finish(id uint64) {
 	m.mu.Lock()

@@ -14,7 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // LSN is a log sequence number: a strictly increasing record ordinal.
@@ -206,9 +209,24 @@ func decode(b []byte) (*Record, error) {
 	return r, nil
 }
 
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// pendingKick bounds how many bytes may sit in the append buffer before an
+// Append wakes the group-commit flusher on its own (commit waiters wake it
+// regardless); it caps memory for huge transactions.
+const pendingKick = 1 << 20
+
 // Log is the write-ahead log. Append assigns LSNs; Flush makes all appended
 // records durable. A commit is durable once Flush returns after appending
 // the commit record.
+//
+// In its default (synchronous) mode every Flush performs its own
+// store.Sync. StartGroupCommit switches the log to group-commit mode: a
+// single background flusher coalesces all pending records into one
+// store.Append+Sync per batch and wakes every waiter whose commit LSN the
+// batch covers, so N concurrent committers share one fsync instead of
+// paying one each. WaitFlushed is the durability barrier in both modes.
 type Log struct {
 	mu       sync.Mutex
 	store    Store
@@ -216,6 +234,25 @@ type Log struct {
 	flushed  LSN
 	appended LSN
 	pending  []byte
+
+	// Group-commit state (nil / zero while in synchronous mode).
+	flusherOn   bool
+	groupDelay  time.Duration // max extra coalescing wait per batch
+	flushReq    chan struct{} // wakes the flusher (capacity 1)
+	flusherDone chan struct{}
+	durable     *sync.Cond // broadcast after every batch reaches disk
+	flushErr    error      // sticky: a failed batch poisons the log
+	closed      bool
+	syncs       uint64 // store.Sync calls (batching observability)
+
+	// Self-clocking batch sizing: the flusher waits (up to groupDelay) for
+	// as many commits as the previous batch carried before syncing, so a
+	// steady stream of N concurrent committers converges on batches of ~N
+	// while a single committer never waits at all. pendingCommits is
+	// atomic so the coalescing spin can poll it without contending l.mu
+	// against the very Appends it is waiting for.
+	pendingCommits atomic.Int64 // commit records appended since the last grab
+	lastBatchSize  int64        // commit records in the previous batch
 }
 
 // Open creates a Log over store, positioning the next LSN after any
@@ -233,7 +270,163 @@ func Open(store Store) (*Log, error) {
 	}
 	l.flushed = l.nextLSN - 1
 	l.appended = l.flushed
+	l.durable = sync.NewCond(&l.mu)
 	return l, nil
+}
+
+// StartGroupCommit switches the log to group-commit mode. maxDelay is the
+// longest the flusher waits after picking up work before syncing, letting
+// more commits join the batch; zero flushes as soon as the previous sync
+// returns (arrivals during a sync still coalesce into the next batch).
+// Idempotent; must not be called after Close.
+func (l *Log) StartGroupCommit(maxDelay time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.flusherOn || l.closed {
+		return
+	}
+	if maxDelay < 0 {
+		maxDelay = 0
+	}
+	l.flusherOn = true
+	l.groupDelay = maxDelay
+	l.flushReq = make(chan struct{}, 1)
+	l.flusherDone = make(chan struct{})
+	go l.flusher()
+}
+
+// GroupCommit reports whether the background flusher is running.
+func (l *Log) GroupCommit() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flusherOn
+}
+
+// SyncCount returns the number of store.Sync calls performed so far; the
+// ratio of commits to syncs measures group-commit batching.
+func (l *Log) SyncCount() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// coalesce implements the self-clocked batch window: after a wake-up the
+// flusher briefly yields the CPU (bounded by groupDelay) until as many
+// commits as the previous batch carried have enlisted. Committers that just
+// woke from the last batch's broadcast get the cycles to finish their next
+// transaction and join this batch, instead of landing one sync behind. A
+// previous batch of ≤1 commit — the single-writer case — skips the window
+// entirely, so an isolated commit only ever pays its own sync.
+func (l *Log) coalesce() {
+	l.mu.Lock()
+	want := l.lastBatchSize
+	delay := l.groupDelay
+	l.mu.Unlock()
+	if want <= 1 || delay <= 0 {
+		return
+	}
+	deadline := time.Now().Add(delay)
+	for l.pendingCommits.Load() < want && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// kickLocked wakes the flusher without blocking. Caller holds l.mu.
+func (l *Log) kickLocked() {
+	select {
+	case l.flushReq <- struct{}{}:
+	default:
+	}
+}
+
+// flusher is the group-commit loop: pick up everything appended so far,
+// write and sync it as one batch, publish the new durable horizon, repeat.
+// Appends are never blocked by a sync in progress — they buffer under l.mu
+// while the flusher runs store I/O outside it — which is where the batching
+// comes from: a batch absorbs every commit that arrived during the previous
+// sync.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	for {
+		<-l.flushReq
+		l.coalesce()
+		l.mu.Lock()
+		if len(l.pending) == 0 {
+			closed := l.closed
+			l.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		batch := l.pending
+		l.pending = nil
+		target := l.appended
+		grabbed := l.pendingCommits.Swap(0)
+		l.mu.Unlock()
+
+		err := l.store.Append(batch)
+		if err == nil {
+			err = l.store.Sync()
+		}
+
+		l.mu.Lock()
+		// Concurrency estimate for the next coalescing window: committers
+		// in this batch plus committers that arrived while it was syncing.
+		// A lone writer blocked on this sync contributes exactly 1, so it
+		// never waits; two alternating writers estimate 2 and start
+		// sharing a sync instead of leapfrogging forever.
+		l.lastBatchSize = grabbed + l.pendingCommits.Load()
+		if err != nil {
+			l.flushErr = err
+		} else {
+			l.flushed = target
+			l.syncs++
+		}
+		l.durable.Broadcast()
+		closed := l.closed
+		more := len(l.pending) > 0
+		if more {
+			l.kickLocked()
+		}
+		l.mu.Unlock()
+		if closed && !more {
+			return
+		}
+	}
+}
+
+// WaitFlushed blocks until every record up to and including lsn is durable.
+// It is the commit-side durability barrier: in group-commit mode it enlists
+// in the current batch and sleeps until the flusher's sync covers lsn; in
+// synchronous mode it flushes inline.
+func (l *Log) WaitFlushed(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// An already-durable prefix stays durable regardless of later batch
+	// failures, so the horizon check precedes the sticky-error check (the
+	// post-wait switch below keeps the same priority).
+	if l.flushed >= lsn {
+		return nil
+	}
+	if l.flushErr != nil {
+		return l.flushErr
+	}
+	if !l.flusherOn {
+		return l.flushLocked()
+	}
+	for l.flushed < lsn && l.flushErr == nil && !l.closed {
+		l.kickLocked()
+		l.durable.Wait()
+	}
+	switch {
+	case l.flushed >= lsn:
+		return nil
+	case l.flushErr != nil:
+		return l.flushErr
+	default:
+		return ErrClosed
+	}
 }
 
 // Append adds r to the log, assigning and returning its LSN. The record is
@@ -250,13 +443,29 @@ func (l *Log) Append(r *Record) (LSN, error) {
 	l.pending = append(l.pending, hdr[:]...)
 	l.pending = append(l.pending, payload...)
 	l.appended = r.LSN
+	if r.Type == RecCommit {
+		l.pendingCommits.Add(1)
+	}
+	if l.flusherOn && len(l.pending) >= pendingKick {
+		l.kickLocked()
+	}
 	return r.LSN, nil
 }
 
 // Flush makes all appended records durable.
 func (l *Log) Flush() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	target := l.appended
+	l.mu.Unlock()
+	return l.WaitFlushed(target)
+}
+
+// flushLocked writes and syncs everything pending, synchronously. Caller
+// holds l.mu; only used while the group-commit flusher is not running.
+func (l *Log) flushLocked() error {
+	if l.flushErr != nil {
+		return l.flushErr
+	}
 	if len(l.pending) == 0 {
 		return nil
 	}
@@ -268,6 +477,7 @@ func (l *Log) Flush() error {
 	}
 	l.pending = l.pending[:0]
 	l.flushed = l.appended
+	l.syncs++
 	return nil
 }
 
@@ -291,6 +501,12 @@ func (l *Log) NextLSN() LSN {
 // monotonically: the checkpoint record carries the current high LSN, so
 // page LSNs stamped before compaction stay comparable after reopen.
 func (l *Log) Compact() error {
+	// Drain the group-commit flusher first: with no transaction in flight
+	// (the caller's guarantee) the pending buffer stays empty afterwards,
+	// so the flusher cannot touch the store while we reset it below.
+	if err := l.Flush(); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.pending) > 0 {
@@ -320,9 +536,29 @@ func (l *Log) Compact() error {
 	return nil
 }
 
-// Close flushes and closes the underlying store.
+// Close stops the group-commit flusher (if running), flushes, and closes
+// the underlying store.
 func (l *Log) Close() error {
-	if err := l.Flush(); err != nil {
+	l.mu.Lock()
+	wasOn := l.flusherOn
+	if !l.closed {
+		l.closed = true
+		if wasOn {
+			l.kickLocked()
+		}
+	}
+	l.mu.Unlock()
+	if wasOn {
+		<-l.flusherDone
+		l.mu.Lock()
+		l.flusherOn = false
+		l.durable.Broadcast() // release any stragglers with ErrClosed
+		l.mu.Unlock()
+	}
+	l.mu.Lock()
+	err := l.flushLocked()
+	l.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	return l.store.Close()
