@@ -1,0 +1,88 @@
+package tendax_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/storage"
+	"tendax/internal/wal"
+)
+
+// BenchmarkE12Checkpoint measures crash-recovery time against total editing
+// history, with and without fuzzy checkpoints (EXPERIMENTS.md E12). Each
+// sub-benchmark builds one crash image — a document edited `edits` times,
+// checkpointed every 250 edits when enabled — and then times the ARIES
+// recovery pass (wal.Recover over a copy of the image) per iteration,
+// exactly the work a restarting server must finish before serving. The
+// log-bytes metric is the crash image's log size: with checkpointing it
+// stays flat as edits grow, and recovery time follows it; without, both
+// grow with history. (Opening the database afterwards additionally pays
+// heap discovery and index rebuilds, which scale with data size for any
+// recovery scheme; that cost is excluded here.)
+func BenchmarkE12Checkpoint(b *testing.B) {
+	for _, ckpt := range []struct {
+		name string
+		on   bool
+	}{
+		{"no-checkpoint", false},
+		{"checkpointed", true},
+	} {
+		for _, edits := range []int{500, 5000} {
+			b.Run(fmt.Sprintf("%s/edits=%d", ckpt.name, edits), func(b *testing.B) {
+				disk := storage.NewMemDisk()
+				store := wal.NewMemStore()
+				database, err := db.OpenWith(disk, store, db.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := core.NewEngine(database, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				doc, err := eng.CreateDocument("u", "e12")
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < edits; i++ {
+					if _, err := doc.AppendText("u", "abcd"); err != nil {
+						b.Fatal(err)
+					}
+					if ckpt.on && i%250 == 249 {
+						if _, err := database.FuzzyCheckpoint(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				logBytes, err := store.ReadAll()
+				if err != nil {
+					b.Fatal(err)
+				}
+				diskImage := disk.Snapshot()
+
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer() // copying the crash image is harness cost
+					img := diskImage.Snapshot()
+					crashStore := wal.NewMemStore()
+					crashStore.Append(logBytes)
+					b.StartTimer()
+					log, err := wal.Open(crashStore)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats, err := wal.Recover(log, storage.NewBufferPool(img, 1024))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 && ckpt.on && stats.CheckpointLSN == 0 {
+						b.Fatal("recovery ignored the checkpoint")
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(len(logBytes)), "log-bytes")
+			})
+		}
+	}
+}

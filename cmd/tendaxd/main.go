@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tendax/internal/core"
 	"tendax/internal/db"
@@ -28,9 +29,17 @@ func main() {
 	data := flag.String("data", "", "data directory (empty = in-memory)")
 	auth := flag.Bool("auth", false, "require authentication")
 	seedUser := flag.String("seed-user", "", "create an initial user (name:password)")
+	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second,
+		"fuzzy checkpoint interval (0 disables the timer trigger)")
+	ckptBytes := flag.Int64("checkpoint-log-bytes", 64<<20,
+		"fuzzy checkpoint when the WAL exceeds this many bytes (0 disables)")
 	flag.Parse()
 
-	database, err := db.Open(db.Options{Dir: *data})
+	database, err := db.Open(db.Options{
+		Dir:                *data,
+		CheckpointInterval: *ckptEvery,
+		CheckpointLogBytes: *ckptBytes,
+	})
 	if err != nil {
 		log.Fatalf("tendaxd: open database: %v", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tendax/internal/protocol"
 )
@@ -228,6 +229,14 @@ func (d *Doc) Seq() uint64 {
 	return d.seq
 }
 
+// Lagged reports whether the server ever dropped this replica's
+// subscription for falling behind (it has since resubscribed and resynced).
+func (d *Doc) Lagged() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lagged
+}
+
 // Watch installs a callback invoked on every applied event (UI updates,
 // test synchronisation). One watcher at a time.
 func (d *Doc) Watch(fn func(protocol.Event)) {
@@ -253,6 +262,32 @@ func (d *Doc) Events() []protocol.Event {
 // goroutine, with a flag suppressing event application meanwhile.
 func (d *Doc) apply(ev *protocol.Event) {
 	d.mu.Lock()
+	if ev.Kind == protocol.EvLagged {
+		// The server dropped our subscription because we fell behind and
+		// pushed this final notice: the replica has holes and no event
+		// stream any more. Resubscribe, then fetch the committed state. A
+		// transient failure is retried — giving up silently would recreate
+		// the frozen-replica dead end this push exists to prevent.
+		d.lagged = true
+		d.resyncing = true
+		d.mu.Unlock()
+		go func() {
+			for attempt := 0; attempt < 5; attempt++ {
+				_, subErr := d.c.call(&protocol.Message{Op: protocol.OpSubscribe, Doc: d.id})
+				if subErr == nil && d.Resync() == nil {
+					break
+				}
+				if errors.Is(subErr, ErrClosed) {
+					break // connection gone; nothing left to recover
+				}
+				time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+			}
+			d.mu.Lock()
+			d.resyncing = false
+			d.mu.Unlock()
+		}()
+		return
+	}
 	if d.resyncing {
 		d.mu.Unlock()
 		return // the pending resync supersedes this event

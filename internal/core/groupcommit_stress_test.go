@@ -41,6 +41,9 @@ func reopenEngine(t *testing.T, dir string) (*Engine, *db.Database) {
 }
 
 func TestStressConcurrentAppendSharedDoc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-writer file-backed stress run skipped in -short mode")
+	}
 	dir := t.TempDir()
 	eng, database := reopenEngine(t, dir)
 	doc, err := eng.CreateDocument("u0", "shared")
@@ -106,6 +109,9 @@ func TestStressConcurrentAppendSharedDoc(t *testing.T) {
 }
 
 func TestStressConcurrentAppendDistinctDocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-writer file-backed stress run skipped in -short mode")
+	}
 	dir := t.TempDir()
 	eng, database := reopenEngine(t, dir)
 	docs := make([]*Document, stressWriters)

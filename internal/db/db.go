@@ -2,6 +2,7 @@ package db
 
 import (
 	"fmt"
+	"log"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -40,6 +41,16 @@ type Options struct {
 	// negative means no timed wait (flush as soon as the previous sync
 	// returns).
 	GroupCommitDelay time.Duration
+	// CheckpointInterval, when positive, runs a background fuzzy
+	// checkpoint (FuzzyCheckpoint: non-quiescent, truncates the log) at
+	// least this often. Zero leaves the background checkpointer off —
+	// the default, so tests opt in explicitly.
+	CheckpointInterval time.Duration
+	// CheckpointLogBytes, when positive, triggers a background fuzzy
+	// checkpoint whenever the write-ahead log grows past this many bytes,
+	// bounding both disk usage and recovery time regardless of edit rate.
+	// May be combined with CheckpointInterval.
+	CheckpointLogBytes int64
 }
 
 const catalogTableID = 1
@@ -64,6 +75,14 @@ type Database struct {
 	byID    map[uint64]*Table
 	catalog *Table
 	nextTID uint64
+
+	// ckptMu serialises log maintenance: fuzzy checkpoints, the legacy
+	// quiescent Checkpoint/Compact, and Close. Writers are never behind it.
+	ckptMu   sync.Mutex
+	ckpts    uint64
+	ckptErr  error // last background checkpoint failure, for diagnostics
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 
 	// Recovery outcome of the last Open, for diagnostics and tests.
 	Recovery *wal.RecoveryStats
@@ -210,6 +229,9 @@ func openWith(disk storage.DiskManager, store wal.Store, opts Options) (*Databas
 	if loadErr != nil {
 		return nil, loadErr
 	}
+	if opts.CheckpointInterval > 0 || opts.CheckpointLogBytes > 0 {
+		d.startCheckpointer(opts.CheckpointInterval, opts.CheckpointLogBytes)
+	}
 	return d, nil
 }
 
@@ -304,9 +326,13 @@ func (d *Database) CreateTable(name string, schema Schema, indexCols ...string) 
 }
 
 // Checkpoint flushes all dirty pages and, when no transaction is in
-// flight, compacts the write-ahead log to a single checkpoint record —
-// bounding both log size and recovery time.
+// flight, compacts the write-ahead log to a single checkpoint record. It is
+// the quiescent degenerate case of FuzzyCheckpoint (empty dirty-page and
+// active-transaction tables), kept for shutdown and for callers that can
+// guarantee a quiet moment.
 func (d *Database) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
 	if err := d.log.Flush(); err != nil {
 		return err
 	}
@@ -319,8 +345,113 @@ func (d *Database) Checkpoint() error {
 	return nil
 }
 
+// FuzzyCheckpoint takes a non-quiescent checkpoint: it writes back pages
+// dirtied before now (advancing the redo horizon), captures the dirty-page
+// and active-transaction tables into a begin/end checkpoint record pair,
+// and truncates the log prefix below the redo point — all while writers
+// keep committing. Recovery then starts from the checkpoint instead of the
+// head of history, so both log size and restart time stay bounded by
+// checkpoint frequency rather than database age.
+func (d *Database) FuzzyCheckpoint() (*wal.CheckpointResult, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	// Write back everything dirtied before this point so the redo horizon
+	// can advance; the WAL barrier on the pool keeps write-ahead order, and
+	// pages dirtied while we flush simply stay in the captured DPT.
+	if err := d.pool.FlushBelow(uint64(d.log.NextLSN())); err != nil {
+		return nil, err
+	}
+	res, err := d.log.FuzzyCheckpoint(func() ([]storage.DirtyPage, error) {
+		dpt := d.pool.DirtyPages()
+		// Eviction write-backs clear a page's recLSN without syncing the
+		// disk. Truncation treats every update below the captured recLSNs
+		// as durable in the page store, so any write-back that predates
+		// this capture must be forced down before we return the table.
+		if err := d.disk.Sync(); err != nil {
+			return nil, err
+		}
+		return dpt, nil
+	}, d.tm.ActiveSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	d.ckpts++
+	return res, nil
+}
+
+// CheckpointCount returns the number of fuzzy checkpoints taken, and the
+// last background checkpoint error if any (nil when healthy).
+func (d *Database) CheckpointCount() (uint64, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	return d.ckpts, d.ckptErr
+}
+
+// startCheckpointer runs fuzzy checkpoints in the background, triggered by
+// elapsed time (interval > 0) and/or log growth (maxBytes > 0).
+func (d *Database) startCheckpointer(interval time.Duration, maxBytes int64) {
+	d.ckptStop = make(chan struct{})
+	d.ckptDone = make(chan struct{})
+	poll := interval
+	if maxBytes > 0 && (poll <= 0 || poll > 100*time.Millisecond) {
+		poll = 100 * time.Millisecond // byte trigger needs a finer pulse
+	}
+	go func() {
+		defer close(d.ckptDone)
+		tick := time.NewTicker(poll)
+		defer tick.Stop()
+		last := time.Now()
+		var lastEnd wal.LSN // end record of the previous checkpoint
+		for {
+			select {
+			case <-d.ckptStop:
+				return
+			case <-tick.C:
+			}
+			fire := interval > 0 && time.Since(last) >= interval
+			if !fire && maxBytes > 0 {
+				if sz, err := d.log.SizeBytes(); err == nil && sz >= maxBytes {
+					fire = true
+				}
+			}
+			if !fire {
+				continue
+			}
+			// An idle database owes no work: if nothing was logged since
+			// the previous end record, a new checkpoint would only burn
+			// fsyncs and rewrite the log to an identical 2-record state.
+			if lastEnd != 0 && d.log.NextLSN() == lastEnd+1 {
+				last = time.Now()
+				continue
+			}
+			res, err := d.FuzzyCheckpoint()
+			d.ckptMu.Lock()
+			prev := d.ckptErr
+			d.ckptErr = err // a failure is retried on the next trigger
+			d.ckptMu.Unlock()
+			// A checkpointer that fails silently defeats its purpose (the
+			// WAL grows unbounded with no signal), so log the transitions:
+			// once when failures start, once when they stop.
+			if err != nil && prev == nil {
+				log.Printf("db: background checkpoint failing (will retry): %v", err)
+			} else if err == nil && prev != nil {
+				log.Printf("db: background checkpoint recovered")
+			}
+			if err == nil {
+				lastEnd = res.EndLSN
+			}
+			last = time.Now()
+		}
+	}()
+}
+
 // Close checkpoints and releases all resources.
 func (d *Database) Close() error {
+	if d.ckptStop != nil {
+		close(d.ckptStop)
+		<-d.ckptDone
+		d.ckptStop = nil
+	}
 	if err := d.Checkpoint(); err != nil {
 		return err
 	}

@@ -57,6 +57,13 @@ const (
 	ScopeGlobal = "global"
 )
 
+// EvLagged is the kind of the final push sent when the server drops a
+// subscription that fell too far behind the document's event stream. After
+// receiving it the client holds no subscription for the document: it must
+// resubscribe and resynchronise from the committed state. The event's Seq
+// carries the document's current sequence number, making the gap visible.
+const EvLagged = "lagged"
+
 // Clip is a clipboard on the wire.
 type Clip struct {
 	Text     string   `json:"text"`

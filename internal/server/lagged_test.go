@@ -1,0 +1,103 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"tendax/internal/protocol"
+	"tendax/internal/util"
+)
+
+// TestLaggedSubscriberGetsFinalPush forces a subscriber so far behind that
+// the awareness bus cuts its subscription, then verifies the server (a)
+// pushes one final "lagged" event so the client knows it must resync, and
+// (b) actually forgets the dead subscription, so a resubscribe on the same
+// connection delivers events again. Before the fix the push pump exited
+// silently and a resubscribe was swallowed as a duplicate — the replica
+// froze forever.
+func TestLaggedSubscriberGetsFinalPush(t *testing.T) {
+	addr, eng := harness(t, false)
+	host := login(t, addr, "host", "")
+	docID, err := host.CreateDocument("laggy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.Open(docID); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw connection whose receive window we keep tiny and whose socket
+	// we deliberately stop reading, so pushed events pile up.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096)
+	}
+	codec := protocol.NewCodec(nc)
+	call := func(id int64, req *protocol.Message) *protocol.Message {
+		t.Helper()
+		req.Type = protocol.TypeRequest
+		req.ID = id
+		if err := codec.Send(req); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			m, err := codec.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Type == protocol.TypeResponse && m.ID == id {
+				if m.Err != "" {
+					t.Fatalf("request %d failed: %s", id, m.Err)
+				}
+				return m
+			}
+		}
+	}
+	call(1, &protocol.Message{Op: protocol.OpLogin, User: "sloth"})
+	call(2, &protocol.Message{Op: protocol.OpSubscribe, Doc: docID})
+
+	// Flood the document's bus without reading the socket: the 256-slot
+	// subscription buffer plus the connection's transmit path fill up, the
+	// bus drops the subscription, and the pump owes us one final push.
+	doc := util.ID(docID)
+	now := eng.Clock().Now()
+	for i := 0; i < 30000; i++ {
+		eng.Bus().MoveCursor(doc, "flood", i, now)
+	}
+
+	// Drain until the lagged notice arrives.
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	sawLagged := false
+	for !sawLagged {
+		m, err := codec.Recv()
+		if err != nil {
+			t.Fatalf("connection died before the lagged push: %v", err)
+		}
+		if m.Type == protocol.TypePush && m.Event != nil && m.Event.Kind == protocol.EvLagged {
+			sawLagged = true
+			if m.Event.Doc != docID {
+				t.Fatalf("lagged push for doc %d, want %d", m.Event.Doc, docID)
+			}
+		}
+	}
+
+	// The dead subscription must be gone server-side: resubscribing on the
+	// same connection works and events flow again.
+	call(3, &protocol.Message{Op: protocol.OpSubscribe, Doc: docID})
+	eng.Bus().MoveCursor(doc, "flood", 424242, now)
+	for {
+		m, err := codec.Recv()
+		if err != nil {
+			t.Fatalf("no events after resubscribe: %v", err)
+		}
+		if m.Type == protocol.TypePush && m.Event != nil &&
+			m.Event.Kind == "cursor" && m.Event.Pos == 424242 {
+			return
+		}
+	}
+}

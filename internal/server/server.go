@@ -457,6 +457,34 @@ func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
 				return
 			}
 		}
+		// The channel closed under us. If the bus cut the subscription
+		// because this connection lagged, the client still believes it is
+		// subscribed — drop the dead subscription so a resubscribe takes,
+		// and push a final "lagged" event telling it to resync. Without
+		// this the pump died silently and the replica froze forever.
+		if !sub.Lagged() {
+			return // ordinary unsubscribe/close: the client asked for it
+		}
+		c.mu.Lock()
+		if c.subs[docID] == sub {
+			delete(c.subs, docID)
+		}
+		dead := c.dead
+		c.mu.Unlock()
+		if dead {
+			return
+		}
+		msg := &protocol.Message{
+			Type: protocol.TypePush,
+			Event: &protocol.Event{
+				Doc: uint64(docID), Kind: protocol.EvLagged,
+				Seq:  c.srv.eng.Bus().Seq(docID),
+				AtNS: c.srv.eng.Clock().Now().UnixNano(),
+			},
+		}
+		if err := c.codec.Send(msg); err != nil {
+			c.close()
+		}
 	}()
 	return &protocol.Message{OK: true, Seq: c.srv.eng.Bus().Seq(docID)}
 }

@@ -14,6 +14,9 @@ import (
 // concurrent TCP clients against one document, then verifies every
 // structural invariant and that all replicas converge to the server state.
 func TestRandomizedCollaborationStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized multi-client stress run skipped in -short mode")
+	}
 	addr, eng := harness(t, false)
 	host := login(t, addr, "host", "")
 	docID, err := host.CreateDocument("stress")

@@ -108,30 +108,122 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
 	return nil
 }
 
+// pinAt pins whatever page currently occupies frame idx (nil if empty),
+// guaranteeing it cannot be evicted while the caller works on it outside
+// bp.mu. Release with unpinPage.
+func (bp *BufferPool) pinAt(idx int) *Page {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	pg := bp.frames[idx]
+	if pg == nil {
+		return nil
+	}
+	pg.pins++
+	return pg
+}
+
+func (bp *BufferPool) unpinPage(pg *Page) {
+	bp.mu.Lock()
+	pg.pins--
+	bp.mu.Unlock()
+}
+
 // Flush writes page id back to disk if resident and dirty.
 func (bp *BufferPool) Flush(id PageID) error {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	idx, ok := bp.table[id]
 	if !ok {
+		bp.mu.Unlock()
 		return nil
 	}
-	return bp.flushFrameLocked(idx)
+	pg := bp.frames[idx]
+	pg.pins++
+	bp.mu.Unlock()
+	err := bp.flushPage(pg)
+	bp.unpinPage(pg)
+	return err
+}
+
+// DirtyPage is one dirty-page-table entry: a resident page with logged
+// effects not yet written back, and the LSN of the earliest such effect.
+type DirtyPage struct {
+	ID     PageID
+	RecLSN uint64
+}
+
+// DirtyPages snapshots the dirty page table for a fuzzy checkpoint: every
+// resident page whose recLSN is set, without quiescing writers. The capture
+// is race-free against concurrent mutators because they hold the page latch
+// from before their log append until after SetLSN: any update the snapshot
+// misses was appended after the snapshot latched the page, so its LSN is
+// above the checkpoint's begin record and survives truncation.
+//
+// Each page is pinned and latched with bp.mu released: a writer stalled on
+// a transaction lock while holding a page latch must never be able to block
+// the pool mutex, or the checkpointer could close a deadlock cycle the
+// transaction-level detector cannot see.
+func (bp *BufferPool) DirtyPages() []DirtyPage {
+	var out []DirtyPage
+	for idx := range bp.frames {
+		pg := bp.pinAt(idx)
+		if pg == nil {
+			continue
+		}
+		pg.RLock()
+		rec := pg.recLSN
+		pg.RUnlock()
+		bp.unpinPage(pg)
+		if rec != 0 {
+			out = append(out, DirtyPage{ID: pg.id, RecLSN: rec})
+		}
+	}
+	return out
+}
+
+// FlushBelow writes back every resident page whose recLSN is below lsn and
+// syncs the disk, advancing the redo horizon a checkpoint can claim. Pages
+// dirtied while the flush runs simply stay dirty — the checkpointer is
+// non-quiescent by design — and each page is pinned and flushed under its
+// own latch with bp.mu released, so writers block per page at worst.
+func (bp *BufferPool) FlushBelow(lsn uint64) error {
+	flushed := false
+	for idx := range bp.frames {
+		pg := bp.pinAt(idx)
+		if pg == nil {
+			continue
+		}
+		var err error
+		pg.RLock()
+		rec := pg.recLSN
+		pg.RUnlock()
+		if rec != 0 && rec < lsn {
+			err = bp.flushPage(pg)
+			flushed = true
+		}
+		bp.unpinPage(pg)
+		if err != nil {
+			return err
+		}
+	}
+	if !flushed {
+		return nil // nothing written: no fsync owed (idle checkpoints)
+	}
+	return bp.disk.Sync()
 }
 
 // FlushAll writes every dirty resident page back to disk and syncs.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	for idx, pg := range bp.frames {
+	for idx := range bp.frames {
+		pg := bp.pinAt(idx)
 		if pg == nil {
 			continue
 		}
-		if err := bp.flushFrameLocked(idx); err != nil {
-			bp.mu.Unlock()
+		err := bp.flushPage(pg)
+		bp.unpinPage(pg)
+		if err != nil {
 			return err
 		}
 	}
-	bp.mu.Unlock()
 	return bp.disk.Sync()
 }
 
@@ -156,15 +248,11 @@ func (bp *BufferPool) Stats() (hits, misses uint64) {
 // Disk exposes the underlying disk manager (used by recovery).
 func (bp *BufferPool) Disk() DiskManager { return bp.disk }
 
-// flushFrameLocked writes a dirty frame back to disk. It takes the page
-// latch so it never observes a concurrent writer's half-applied mutation
-// (writers hold the latch but not bp.mu; no code path holds a page latch
-// while calling into the pool, so the bp.mu→latch order cannot deadlock).
-func (bp *BufferPool) flushFrameLocked(idx int) error {
-	pg := bp.frames[idx]
-	if pg == nil {
-		return nil
-	}
+// flushPage writes one pinned page back to disk if dirty. The caller holds
+// a pin but NOT bp.mu: taking the page latch can mean waiting out a writer
+// that is itself waiting on a transaction lock, and that wait must never
+// extend a bp.mu critical section (deadlock via latch → row lock → pool).
+func (bp *BufferPool) flushPage(pg *Page) error {
 	pg.Lock()
 	defer pg.Unlock()
 	if !pg.dirty {
@@ -183,7 +271,21 @@ func (bp *BufferPool) flushFrameLocked(idx int) error {
 		return err
 	}
 	pg.dirty = false
+	pg.recLSN = 0 // every logged effect is now in the on-disk image
 	return nil
+}
+
+// flushFrameLocked writes a dirty frame back to disk during eviction.
+// Caller holds bp.mu; the frame is unpinned (pins == 0), and since every
+// latch holder also holds a pin, the latch acquisition inside flushPage can
+// never wait on a stalled writer — the bp.mu→latch order is deadlock-free
+// on this path.
+func (bp *BufferPool) flushFrameLocked(idx int) error {
+	pg := bp.frames[idx]
+	if pg == nil {
+		return nil
+	}
+	return bp.flushPage(pg)
 }
 
 // victimLocked finds a free or evictable frame using the clock algorithm.

@@ -185,6 +185,20 @@ func (d *MemDisk) NumPages() uint64 {
 	return uint64(len(d.pages))
 }
 
+// Snapshot returns a deep copy of the disk's current pages. Crash-recovery
+// tests and experiments use it to freeze the "on stable storage" image at a
+// simulated crash point: with a truncated write-ahead log, recovery needs
+// the page store, not just the log.
+func (d *MemDisk) Snapshot() *MemDisk {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pages := make([][]byte, len(d.pages))
+	for i, p := range d.pages {
+		pages[i] = append([]byte(nil), p...)
+	}
+	return &MemDisk{pages: pages}
+}
+
 // Sync implements DiskManager.
 func (d *MemDisk) Sync() error { return nil }
 

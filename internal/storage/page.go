@@ -32,7 +32,15 @@ type Page struct {
 	data  [PageSize]byte
 	pins  int
 	dirty bool
-	mu    sync.RWMutex
+	// recLSN is the dirty-page-table entry for this page: the LSN of the
+	// first logged update since the page was last written back, or 0 when
+	// every logged effect on the page is already in the on-disk image. The
+	// fuzzy-checkpoint redo point is the minimum recLSN over all pages, so
+	// it must never overshoot: SetLSN records it on the first stamp after a
+	// write-back and the buffer pool clears it only after a successful
+	// write-back. Protected by the page latch, like the payload.
+	recLSN uint64
+	mu     sync.RWMutex
 }
 
 // ID returns the page's identifier.
@@ -65,8 +73,21 @@ func (p *Page) RUnlock() { p.mu.RUnlock() }
 // already reached the page.
 func (p *Page) LSN() uint64 { return binary.BigEndian.Uint64(p.data[:8]) }
 
-// SetLSN stamps the page with a log sequence number.
-func (p *Page) SetLSN(lsn uint64) { binary.BigEndian.PutUint64(p.data[:8], lsn) }
+// SetLSN stamps the page with a log sequence number. The first stamp after
+// a write-back also becomes the page's recovery LSN (recLSN): the earliest
+// log record whose effect may not yet be on disk. Callers hold the page
+// latch across the log append and the stamp, which is what makes a fuzzy
+// dirty-page-table capture race-free (see BufferPool.DirtyPages).
+func (p *Page) SetLSN(lsn uint64) {
+	if p.recLSN == 0 {
+		p.recLSN = lsn
+	}
+	binary.BigEndian.PutUint64(p.data[:8], lsn)
+}
+
+// RecLSN returns the page's recovery LSN (0 when no logged update is
+// pending write-back). Caller holds the page latch.
+func (p *Page) RecLSN() uint64 { return p.recLSN }
 
 // Owner returns the page's owner tag (bytes 8–16): the ID of the table
 // heap the page belongs to, or 0 for unowned pages. The database layer

@@ -31,6 +31,7 @@ type UndoFunc func() error
 type Txn struct {
 	id        uint64
 	mgr       *Manager
+	firstLSN  wal.LSN // begin record: the tail of the undo chain
 	lastLSN   wal.LSN
 	commitLSN wal.LSN
 	undo      []UndoFunc
@@ -39,6 +40,12 @@ type Txn struct {
 
 // ID returns the transaction identifier.
 func (t *Txn) ID() uint64 { return t.id }
+
+// FirstLSN returns the LSN of the transaction's begin record. A fuzzy
+// checkpoint must never let log truncation pass the smallest FirstLSN of
+// any active transaction, or a crash-time rollback would find its undo
+// chain cut.
+func (t *Txn) FirstLSN() wal.LSN { return t.firstLSN }
 
 // State returns the lifecycle state.
 func (t *Txn) State() State { return t.state }
@@ -160,19 +167,39 @@ func (m *Manager) SeedIDs(floor uint64) {
 	}
 }
 
-// Begin starts a new transaction.
+// Begin starts a new transaction. The begin record is appended and the
+// transaction registered under one critical section, so a concurrent
+// ActiveSnapshot can never observe a begin LSN it fails to account for —
+// the invariant fuzzy-checkpoint truncation depends on.
 func (m *Manager) Begin() (*Txn, error) {
 	id := m.nextID.Add(1)
 	t := &Txn{id: id, mgr: m, state: Active}
+	m.mu.Lock()
 	lsn, err := m.log.Append(&wal.Record{Type: wal.RecBegin, TxnID: id})
 	if err != nil {
+		m.mu.Unlock()
 		return nil, err
 	}
+	t.firstLSN = lsn
 	t.lastLSN = lsn
-	m.mu.Lock()
 	m.active[id] = t
 	m.mu.Unlock()
 	return t, nil
+}
+
+// ActiveSnapshot captures the active-transaction table for a fuzzy
+// checkpoint: every in-flight transaction with the LSN of its begin record.
+// Transactions beginning concurrently are either captured or carry a begin
+// LSN above the checkpoint's begin record (Begin appends and registers
+// atomically), so the snapshot is always safe to truncate against.
+func (m *Manager) ActiveSnapshot() []wal.ActiveTxn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wal.ActiveTxn, 0, len(m.active))
+	for _, t := range m.active {
+		out = append(out, wal.ActiveTxn{ID: t.id, FirstLSN: t.firstLSN})
+	}
+	return out
 }
 
 // ActiveCount returns the number of in-flight transactions.

@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"testing"
+
+	"tendax/internal/storage"
+)
+
+func TestCheckpointBodyRoundTrip(t *testing.T) {
+	b := &CheckpointBody{
+		BeginLSN: 100,
+		RedoLSN:  42,
+		DPT: []storage.DirtyPage{
+			{ID: 3, RecLSN: 42},
+			{ID: 9, RecLSN: 77},
+		},
+		ATT: []ActiveTxn{
+			{ID: 5, FirstLSN: 50},
+			{ID: 6, FirstLSN: 61},
+		},
+	}
+	got, err := DecodeCheckpointBody(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BeginLSN != b.BeginLSN || got.RedoLSN != b.RedoLSN {
+		t.Fatalf("LSNs diverged: %+v vs %+v", got, b)
+	}
+	if len(got.DPT) != 2 || got.DPT[1].ID != 9 || got.DPT[1].RecLSN != 77 {
+		t.Fatalf("DPT diverged: %+v", got.DPT)
+	}
+	if len(got.ATT) != 2 || got.ATT[0].ID != 5 || got.ATT[0].FirstLSN != 50 {
+		t.Fatalf("ATT diverged: %+v", got.ATT)
+	}
+}
+
+func TestCheckpointBodyRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCheckpointBody([]byte("short")); err == nil {
+		t.Fatal("short body decoded")
+	}
+	// A body whose DPT length claims more entries than the payload holds.
+	b := (&CheckpointBody{BeginLSN: 1, RedoLSN: 1}).Encode()
+	b[16+7] = 0xFF // inflate the DPT count
+	if _, err := DecodeCheckpointBody(b); err == nil {
+		t.Fatal("inflated DPT length decoded")
+	}
+}
+
+func TestTruncateBelowCutsExactPrefix(t *testing.T) {
+	store := NewMemStore()
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []LSN
+	for i := 0; i < 20; i++ {
+		lsn, err := log.Append(&Record{Type: RecUpdate, TxnID: 1, Page: uint64(i), Op: OpInsert, After: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := store.Len()
+	cut := lsns[12]
+	removed, err := log.TruncateBelow(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed <= 0 || store.Len() != sizeBefore-int(removed) {
+		t.Fatalf("removed %d bytes, store %d -> %d", removed, sizeBefore, store.Len())
+	}
+	var kept []LSN
+	if err := log.Iterate(func(r *Record) error {
+		kept = append(kept, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 8 || kept[0] != cut || kept[len(kept)-1] != lsns[19] {
+		t.Fatalf("kept %v, want exactly [%d..%d]", kept, cut, lsns[19])
+	}
+	// LSN continuity across a reopen of the truncated store.
+	log2, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log2.NextLSN() != lsns[19]+1 {
+		t.Fatalf("NextLSN after truncated reopen = %d, want %d", log2.NextLSN(), lsns[19]+1)
+	}
+}
+
+func TestTruncateBelowZeroAndBeyondTail(t *testing.T) {
+	store := NewMemStore()
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := log.Append(&Record{Type: RecBegin, TxnID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := log.TruncateBelow(lsn); err != nil || removed != 0 {
+		t.Fatalf("truncating below the first record removed %d (%v)", removed, err)
+	}
+	// Truncating past every durable record keeps nothing but never errors.
+	if _, err := log.TruncateBelow(lsn + 100); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store kept %d bytes", store.Len())
+	}
+}
+
+// TestFuzzyCheckpointTruncatesRespectingTables drives the checkpoint
+// protocol directly: the truncation point must honour both the oldest dirty
+// page and the oldest active transaction, and the begin/end pair must
+// survive truncation.
+func TestFuzzyCheckpointTruncatesRespectingTables(t *testing.T) {
+	store := NewMemStore()
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := log.Append(&Record{Type: RecUpdate, TxnID: 2, Page: uint64(i), Op: OpInsert, After: []byte("y")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirtyAt := LSN(6)
+	activeAt := LSN(4)
+	res, err := log.FuzzyCheckpoint(
+		func() ([]storage.DirtyPage, error) {
+			return []storage.DirtyPage{{ID: 1, RecLSN: uint64(dirtyAt)}}, nil
+		},
+		func() []ActiveTxn { return []ActiveTxn{{ID: 2, FirstLSN: activeAt}} },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RedoLSN != dirtyAt {
+		t.Fatalf("redo point %d, want min recLSN %d", res.RedoLSN, dirtyAt)
+	}
+	if res.TruncLSN != activeAt {
+		t.Fatalf("truncation point %d, want oldest active txn %d", res.TruncLSN, activeAt)
+	}
+	var first LSN
+	var sawEnd bool
+	if err := log.Iterate(func(r *Record) error {
+		if first == 0 {
+			first = r.LSN
+		}
+		if r.Type == RecCkptEnd {
+			sawEnd = true
+			body, err := DecodeCheckpointBody(r.After)
+			if err != nil {
+				return err
+			}
+			if body.BeginLSN != res.BeginLSN || body.RedoLSN != res.RedoLSN {
+				t.Fatalf("end record body %+v vs result %+v", body, res)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if first != activeAt {
+		t.Fatalf("retained log starts at %d, want %d", first, activeAt)
+	}
+	if !sawEnd {
+		t.Fatal("end-checkpoint record missing after truncation")
+	}
+}

@@ -33,8 +33,10 @@ const (
 	RecCommit
 	RecAbort // abort completed (all undone)
 	RecUpdate
-	RecCLR // compensation record written while undoing
-	RecCheckpoint
+	RecCLR        // compensation record written while undoing
+	RecCheckpoint // legacy quiescent checkpoint (Compact)
+	RecCkptBegin  // fuzzy checkpoint started
+	RecCkptEnd    // fuzzy checkpoint complete; After carries CheckpointBody
 )
 
 func (t RecordType) String() string {
@@ -51,6 +53,10 @@ func (t RecordType) String() string {
 		return "CLR"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecCkptBegin:
+		return "CKPT-BEGIN"
+	case RecCkptEnd:
+		return "CKPT-END"
 	default:
 		return fmt.Sprintf("REC(%d)", uint8(t))
 	}

@@ -16,6 +16,11 @@ type RecoveryStats struct {
 	Losers    int // transactions rolled back
 	MaxTxnID  uint64
 	MaxPageID uint64
+
+	// Fuzzy-checkpoint outcome of the analysis phase.
+	CheckpointLSN LSN // end record of the last complete checkpoint (0: none)
+	RedoLSN       LSN // redo started here (0: from the head of the log)
+	SkippedRedo   int // updates below the redo point not replayed
 }
 
 // Recover brings the heap pages behind pool to a state containing exactly
@@ -27,6 +32,16 @@ type RecoveryStats struct {
 //  3. Undo: roll back losers in reverse LSN order, writing compensation
 //     records so a crash during recovery is itself recoverable.
 //
+// With fuzzy checkpointing the log's physical head IS the last truncation
+// point, so analysis over the retained log is already bounded by checkpoint
+// frequency rather than database age. The last complete begin/end
+// checkpoint pair additionally supplies the redo point: records below it
+// (retained only so that a transaction active at checkpoint time keeps its
+// undo chain) have their effects in the on-disk pages and are not replayed.
+// A torn pair — an end record missing or damaged because the crash hit
+// mid-checkpoint — is treated as absent, falling back to the previous
+// complete pair (or to the head of the log).
+//
 // Recover appends the abort records for losers to log and flushes it.
 func Recover(log *Log, pool *storage.BufferPool) (*RecoveryStats, error) {
 	stats := &RecoveryStats{}
@@ -37,6 +52,7 @@ func Recover(log *Log, pool *storage.BufferPool) (*RecoveryStats, error) {
 	lastLSN := map[uint64]LSN{}
 	undoNext := map[uint64]LSN{} // resume point if CLRs were already written
 	byLSN := map[LSN]*Record{}
+	var ckpt *CheckpointBody
 
 	err := log.Iterate(func(r *Record) error {
 		stats.Analyzed++
@@ -60,6 +76,14 @@ func Recover(log *Log, pool *storage.BufferPool) (*RecoveryStats, error) {
 			if r.Page > stats.MaxPageID {
 				stats.MaxPageID = r.Page
 			}
+		case RecCkptEnd:
+			// A decodable end record proves the whole pair: its begin
+			// record precedes it, and truncation never outruns a begin
+			// record, so the pair is complete iff the end is intact.
+			if body, err := DecodeCheckpointBody(r.After); err == nil {
+				ckpt = body
+				stats.CheckpointLSN = r.LSN
+			}
 		}
 		return nil
 	})
@@ -67,9 +91,21 @@ func Recover(log *Log, pool *storage.BufferPool) (*RecoveryStats, error) {
 		return nil, err
 	}
 
-	// Redo phase: repeat history for every update and CLR.
+	// Redo phase: repeat history for every update and CLR at or above the
+	// redo point. Updates below it are guaranteed to be in the on-disk
+	// pages by the checkpoint protocol (redoLSN never exceeds any dirty
+	// page's recLSN); they remain in the log only to serve undo chains.
+	redoFrom := LSN(0)
+	if ckpt != nil {
+		redoFrom = ckpt.RedoLSN
+		stats.RedoLSN = redoFrom
+	}
 	for _, r := range records {
 		if r.Type != RecUpdate && r.Type != RecCLR {
+			continue
+		}
+		if r.LSN < redoFrom {
+			stats.SkippedRedo++
 			continue
 		}
 		applied, err := redoOne(pool, r)

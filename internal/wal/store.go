@@ -2,7 +2,9 @@ package wal
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -15,9 +17,16 @@ type Store interface {
 	ReadAll() ([]byte, error)
 	// Sync forces appended data to stable storage.
 	Sync() error
+	// Size returns the current store length in bytes.
+	Size() (int64, error)
 	// Reset discards all content (checkpoint compaction: every logged
 	// effect is already durable in the page store).
 	Reset() error
+	// TruncateHead atomically discards the first off bytes (fuzzy-
+	// checkpoint log reclamation: every record below the redo point is
+	// already durable in the page store). The caller guarantees off lies on
+	// a record boundary; concurrent Appends are preserved.
+	TruncateHead(off int64) error
 	// Close releases resources.
 	Close() error
 }
@@ -60,6 +69,17 @@ func (s *FileStore) Sync() error {
 	return s.f.Sync()
 }
 
+// Size implements Store.
+func (s *FileStore) Size() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
 // Reset implements Store.
 func (s *FileStore) Reset() error {
 	s.mu.Lock()
@@ -71,6 +91,64 @@ func (s *FileStore) Reset() error {
 		return err
 	}
 	return s.f.Sync()
+}
+
+// TruncateHead implements Store. The retained suffix is streamed to a
+// sibling file, synced, and renamed over the log, so a crash at any point
+// leaves either the old log or the complete truncated one — never a log
+// missing committed records. Appends hold the same mutex, so the suffix
+// read here is consistent; only the suffix is read, never the discarded
+// prefix.
+func (s *FileStore) TruncateHead(off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off <= 0 {
+		return nil
+	}
+	src, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	if _, err := src.Seek(off, io.SeekStart); err != nil {
+		src.Close()
+		return err
+	}
+	tmp := s.path + ".truncate"
+	tf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		src.Close()
+		return err
+	}
+	_, err = io.Copy(tf, src)
+	src.Close()
+	if err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	old := s.f
+	s.f = f
+	old.Close()
+	// Make the rename itself durable (best effort — not all filesystems
+	// support directory fsync).
+	if dir, err := os.Open(filepath.Dir(s.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 // Close implements Store.
@@ -108,11 +186,32 @@ func (s *MemStore) ReadAll() ([]byte, error) {
 // Sync implements Store.
 func (s *MemStore) Sync() error { return nil }
 
+// Size implements Store.
+func (s *MemStore) Size() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.data)), nil
+}
+
 // Reset implements Store.
 func (s *MemStore) Reset() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.data = s.data[:0]
+	return nil
+}
+
+// TruncateHead implements Store.
+func (s *MemStore) TruncateHead(off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off <= 0 {
+		return nil
+	}
+	if off > int64(len(s.data)) {
+		off = int64(len(s.data))
+	}
+	s.data = append([]byte(nil), s.data[off:]...)
 	return nil
 }
 
