@@ -1,11 +1,11 @@
-// Command tendax-bench runs the TeNDaX reproduction experiments E1–E12
-// (see DESIGN.md §7 and EXPERIMENTS.md) and prints one table per
+// Command tendax-bench runs the TeNDaX reproduction experiments E1–E13
+// (see DESIGN.md §8 and EXPERIMENTS.md) and prints one table per
 // experiment. E6 additionally writes lineage.dot (Figure 1) and E7 prints
 // the document-space scatter (Figure 2).
 //
 // Usage:
 //
-//	tendax-bench [-exp all|e1|e2|...|e12] [-quick] [-out lineage.dot]
+//	tendax-bench [-exp all|e1|e2|...|e13] [-quick] [-out lineage.dot]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e12 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e13 or all)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast smoke run")
 	out := flag.String("out", "lineage.dot", "output path for the E6 lineage DOT file")
 	flag.Parse()
@@ -39,6 +39,7 @@ func main() {
 		{"e10", "Provenance-capture overhead ablation", runE10},
 		{"e11", "Group-commit durability pipeline", runE11},
 		{"e12", "Fuzzy checkpoints and bounded recovery", runE12},
+		{"e13", "Snapshot reads: MVCC mixed read/write workload", runE13},
 	}
 	ran := 0
 	for _, r := range runs {

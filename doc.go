@@ -15,9 +15,10 @@
 //     subsystems demonstrated in the paper
 //
 // See DESIGN.md for the architecture (including the group-commit pipeline,
-// §3, and the fuzzy-checkpoint/recovery protocol, §4) and EXPERIMENTS.md
-// for the reproduction of every figure and demonstrated capability.
-// bench_test.go, groupcommit_bench_test.go and checkpoint_bench_test.go in
-// this directory hold one benchmark per experiment (E1–E12);
-// cmd/tendax-bench prints the corresponding tables.
+// §3, the fuzzy-checkpoint/recovery protocol, §4, and the MVCC snapshot
+// read path, §5) and EXPERIMENTS.md for the reproduction of every figure
+// and demonstrated capability. bench_test.go, groupcommit_bench_test.go,
+// checkpoint_bench_test.go and snapshot_bench_test.go in this directory
+// hold one benchmark per experiment (E1–E13); cmd/tendax-bench prints the
+// corresponding tables.
 package tendax

@@ -165,6 +165,7 @@ type Doc struct {
 	mu        sync.Mutex
 	runes     []rune
 	seq       uint64
+	snap      uint64 // MVCC snapshot version of the last full-text read
 	lagged    bool
 	resyncing bool
 	events    []protocol.Event // retained for tests/UIs
@@ -201,6 +202,7 @@ func (c *Client) Open(docID uint64) (*Doc, error) {
 	d.mu.Lock()
 	d.runes = []rune(resp.Text)
 	d.seq = resp.Seq
+	d.snap = resp.Snap
 	d.mu.Unlock()
 	return d, nil
 }
@@ -220,6 +222,17 @@ func (d *Doc) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.runes)
+}
+
+// SnapVersion returns the server-side MVCC snapshot version of the last
+// full-text read (open or resync): the number of committed text mutations
+// the snapshot had absorbed since the serving process loaded the document.
+// Zero until the first full read lands; only comparable between reads
+// served by the same server process (a restart resets the counter).
+func (d *Doc) SnapVersion() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snap
 }
 
 // Seq returns the last applied event sequence number.
@@ -337,9 +350,20 @@ func (d *Doc) Resync() error {
 		return err
 	}
 	d.mu.Lock()
-	d.runes = []rune(resp.Text)
-	if resp.Seq > d.seq {
+	// The server pairs Text with the exact event sequence it contains, so
+	// the comparison below is sound: adopt the snapshot only if it is at
+	// least as new as the replica. A push applied while the resync
+	// response was in flight leaves the replica *ahead* of the response;
+	// overwriting it would drop that edit's text while the max'd sequence
+	// number marks it as already applied — losing it permanently.
+	if resp.Seq >= d.seq {
+		d.runes = []rune(resp.Text)
 		d.seq = resp.Seq
+		// The snapshot version is adopted as-is, not max'd: it is only
+		// comparable within one server process, and after a server restart
+		// the counter starts over — keeping the numeric max would pin the
+		// stale pre-restart value to ever-fresher reads.
+		d.snap = resp.Snap
 	}
 	w := d.watcher
 	d.mu.Unlock()

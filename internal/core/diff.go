@@ -110,20 +110,10 @@ func FormatDiff(hunks []Hunk) string {
 
 // DiffVersions diffs two versions of the document (older first). Passing
 // util.NilID as `to` diffs against the current text, so
-// DiffVersions(v, util.NilID) shows what changed since version v.
+// DiffVersions(v, util.NilID) shows what changed since version v. Both
+// sides reconstruct from one committed snapshot (the seed version read
+// each side under a separate lock acquisition, so an edit landing between
+// them produced a diff of two states that never coexisted).
 func (d *Document) DiffVersions(from, to util.ID) ([]Hunk, error) {
-	fromText, err := d.VersionText(from)
-	if err != nil {
-		return nil, err
-	}
-	var toText string
-	if to.IsNil() {
-		toText = d.Text()
-	} else {
-		toText, err = d.VersionText(to)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return DiffTexts(fromText, toText), nil
+	return d.Snapshot().DiffVersions(from, to)
 }

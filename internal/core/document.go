@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tendax/internal/awareness"
@@ -19,9 +19,18 @@ import (
 // are transactional: the in-memory buffer is only updated after the
 // database transaction commits, and the committed operation is published on
 // the awareness bus. Methods are safe for concurrent use.
+//
+// Reads are MVCC: writers publish an immutable snapshot of the buffer at
+// every commit, and all read-only methods resolve against the latest
+// published snapshot instead of holding d.mu over the traversal. The
+// document lock serialises writers only.
 type Document struct {
 	eng *Engine
 	id  util.ID
+
+	// snap is the latest committed (snapshot, event-seq) pair, atomically
+	// replaced by writers under d.mu and read lock-free by everyone else.
+	snap atomic.Pointer[published]
 
 	mu         sync.Mutex
 	buf        *texttree.Buffer
@@ -49,7 +58,34 @@ func newDocument(e *Engine, id util.ID, name, creator string, created time.Time,
 	if creator != "" {
 		d.authors[creator] = true
 	}
+	d.snap.Store(&published{tree: d.buf.Snapshot(), seq: e.bus.Seq(id)})
 	return d
+}
+
+// published pairs an immutable text snapshot with the awareness-bus
+// sequence number of the event that announced it. Serving reads from the
+// pair (rather than reading the text and the bus sequence separately, as
+// the seed did) is what lets a resync response promise "this text contains
+// exactly the edits up to this Seq" — without the pairing, an edit
+// committing between the two reads is silently dropped by the client as a
+// pre-snapshot duplicate.
+type published struct {
+	tree *texttree.Snapshot
+	seq  uint64
+}
+
+// publishEventLocked is the writers' single publish point: called under
+// d.mu after a committed transaction's effects are applied to the buffer,
+// it announces the operation on the awareness bus and — atomically with
+// the sequence-number assignment, under the bus lock — publishes the new
+// snapshot paired with that sequence number. Readers switch from one
+// committed state to the next in a single atomic load and can never
+// observe an event seq without the state it describes.
+func (d *Document) publishEventLocked(ev awareness.Event) uint64 {
+	tree := d.buf.Snapshot()
+	return d.eng.bus.PublishWith(ev, func(seq uint64) {
+		d.snap.Store(&published{tree: tree, seq: seq})
+	})
 }
 
 // load rebuilds the buffer from the chars table.
@@ -71,6 +107,7 @@ func (d *Document) load() error {
 		return fmt.Errorf("core: document %v: %w", d.id, err)
 	}
 	d.buf = buf
+	d.snap.Store(&published{tree: buf.Snapshot(), seq: d.eng.bus.Seq(d.id)})
 	for _, a := range buf.Authors() {
 		d.authors[a] = true
 	}
@@ -87,43 +124,21 @@ func (d *Document) Name() string {
 	return d.name
 }
 
-// Len returns the number of visible characters.
-func (d *Document) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.buf.Len()
-}
+// Len returns the number of visible characters, from the latest committed
+// snapshot: no lock is taken.
+func (d *Document) Len() int { return d.snap.Load().tree.Len() }
 
 // Text returns the full visible text without access filtering (embedded,
-// trusted callers). Use TextFor to apply character-level security.
-func (d *Document) Text() string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.buf.Text()
-}
+// trusted callers), resolved against the latest committed snapshot — the
+// traversal runs entirely off the document lock. Use TextFor to apply
+// character-level security.
+func (d *Document) Text() string { return d.snap.Load().tree.Text() }
 
 // TextFor returns the text user is allowed to read: characters masked by
-// range ACLs are elided (paper: fine-grained security).
+// range ACLs are elided (paper: fine-grained security). The filter runs
+// against one committed snapshot, off the document lock.
 func (d *Document) TextFor(user string) (string, error) {
-	if err := d.eng.allowed(user, d.id, RRead); err != nil {
-		return "", err
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ids := d.buf.VisibleIDs()
-	var mask []bool
-	if d.eng.check != nil {
-		mask = d.eng.check.ReadableMask(user, d.id, ids)
-	}
-	var sb strings.Builder
-	for i, id := range ids {
-		if mask != nil && !mask[i] {
-			continue
-		}
-		ch, _ := d.buf.Char(id)
-		sb.WriteRune(ch.Rune)
-	}
-	return sb.String(), nil
+	return d.Snapshot().TextFor(user)
 }
 
 // Info returns current document metadata.
@@ -142,20 +157,18 @@ func (d *Document) Info() DocInfo {
 	}
 }
 
-// Buffer returns an independent snapshot of the underlying buffer for
+// Buffer returns an independent mutable copy of the underlying buffer for
 // callers that need bulk character-level access (the fine-grained readers
-// in this package go through CharMetaAt/RangeMeta instead). The snapshot
-// is built under the document lock, so it is internally consistent and
-// safe to read while concurrent writers keep editing; changes made to the
-// live document after the call are not reflected in it.
+// in this package go through Snapshot/CharMetaAt/RangeMeta instead). It is
+// materialised from the latest committed snapshot, so it is internally
+// consistent, built without ever holding the document lock, and unaffected
+// by concurrent editing after the call.
 func (d *Document) Buffer() (*texttree.Buffer, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	snap, err := texttree.Load(d.buf.AllChars())
+	buf, err := texttree.Load(d.snap.Load().tree.AllChars())
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot of document %v: %w", d.id, err)
 	}
-	return snap, nil
+	return buf, nil
 }
 
 // InsertText types text at visible position pos on behalf of user, as one
@@ -331,7 +344,8 @@ func (d *Document) insertAsync(user string, pos int, text, kind string, srcDoc u
 		return util.NilID, 0, err
 	}
 
-	// Transaction committed: apply to the in-memory buffer and notify.
+	// Transaction committed: apply to the in-memory buffer, publish the
+	// new snapshot for readers, and notify.
 	at := prevID
 	for i := range chars {
 		if _, err := d.buf.InsertAfter(at, chars[i]); err != nil {
@@ -345,7 +359,7 @@ func (d *Document) insertAsync(user string, pos int, text, kind string, srcDoc u
 	if kind == "paste" {
 		evKind = awareness.EvPaste
 	}
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: evKind, User: user, OpID: opID,
 		Pos: pos, Text: text, N: len(runes), At: now,
 	})
@@ -409,7 +423,7 @@ func (d *Document) DeleteRangeAsync(user string, pos, n int) (util.ID, wal.LSN, 
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "delete", CharIDs: ids, Created: now})
 	d.noteAuthorLocked(user, now)
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvDelete, User: user, OpID: opID,
 		Pos: pos, N: n, At: now,
 	})
@@ -519,32 +533,16 @@ type CharMeta struct {
 	SourceChar util.ID
 }
 
-// CharMetaAt returns the metadata of the visible character at pos.
+// CharMetaAt returns the metadata of the visible character at pos, from
+// the latest committed snapshot.
 func (d *Document) CharMetaAt(pos int) (CharMeta, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	id, ok := d.buf.IDAt(pos)
-	if !ok {
-		return CharMeta{}, fmt.Errorf("%w: %d of %d", ErrRange, pos, d.buf.Len())
-	}
-	ch, _ := d.buf.Char(id)
-	return charMetaOf(ch), nil
+	return d.Snapshot().CharMetaAt(pos)
 }
 
-// RangeMeta returns metadata for the visible range [pos, pos+n).
+// RangeMeta returns metadata for the visible range [pos, pos+n), resolved
+// against one committed snapshot: the range can never mix two states.
 func (d *Document) RangeMeta(pos, n int) ([]CharMeta, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ids := d.buf.RangeIDs(pos, n)
-	if len(ids) != n {
-		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrRange, pos, pos+n, d.buf.Len())
-	}
-	out := make([]CharMeta, n)
-	for i, id := range ids {
-		ch, _ := d.buf.Char(id)
-		out[i] = charMetaOf(ch)
-	}
-	return out, nil
+	return d.Snapshot().RangeMeta(pos, n)
 }
 
 func charMetaOf(ch *texttree.Char) CharMeta {
@@ -629,6 +627,11 @@ func (d *Document) CheckInvariants() error {
 	defer d.mu.Unlock()
 	if err := d.buf.CheckInvariants(); err != nil {
 		return err
+	}
+	// The published snapshot must be exactly the committed buffer state.
+	if snap := d.snap.Load().tree; snap.Version() != d.buf.Version() || snap.Text() != d.buf.Text() {
+		return fmt.Errorf("core: published snapshot (v%d) lags buffer (v%d)",
+			snap.Version(), d.buf.Version())
 	}
 	// Reload from the database and compare.
 	rids, err := d.eng.tChars.LookupEq("doc", int64(d.id))

@@ -15,23 +15,36 @@ type OutlineEntry struct {
 }
 
 // Outline extracts the document structure from heading spans, in document
-// order — the paper's structure definitions made queryable.
+// order — the paper's structure definitions made queryable. The whole
+// extraction resolves against one committed snapshot.
 func (d *Document) Outline() ([]OutlineEntry, error) {
-	spans, err := d.Spans()
+	return d.Snapshot().Outline()
+}
+
+// Outline extracts the snapshot's structure from heading spans. Spans and
+// text come from the same view, so a heading can never point past the end
+// of the text it is resolved against.
+func (s *DocSnapshot) Outline() ([]OutlineEntry, error) {
+	spans, err := s.Spans()
 	if err != nil {
 		return nil, err
 	}
-	text := []rune(d.Text())
+	text := []rune(s.Text())
 	var out []OutlineEntry
-	for _, s := range spans {
-		if s.Kind != SpanHeading {
+	for _, sp := range spans {
+		if sp.Kind != SpanHeading {
 			continue
 		}
-		level, err := strconv.Atoi(s.Value)
+		// Spans laid over text this snapshot has never seen resolve to
+		// nothing; skip them instead of emitting a phantom heading at 0.
+		if !s.t.Contains(sp.Start) {
+			continue
+		}
+		level, err := strconv.Atoi(sp.Value)
 		if err != nil {
 			level = 1
 		}
-		from, to := d.SpanRange(s)
+		from, to := s.SpanRange(sp)
 		if from >= len(text) || from >= to {
 			continue
 		}
@@ -48,13 +61,21 @@ func (d *Document) Outline() ([]OutlineEntry, error) {
 // markers: `<bold>…</bold>`, `<heading=1>…</heading>` and `[note(author):
 // text]` anchors. This is the headless substitute for the GUI editors'
 // rich rendering: it proves layout and structure survive collaborative
-// editing with character-anchored spans.
+// editing with character-anchored spans. Text, spans and span ranges all
+// resolve against one committed snapshot, so a concurrent writer can never
+// tear the rendering (the seed version re-locked per span and could see
+// three different document states in one render).
 func (d *Document) RenderMarkup() (string, error) {
-	spans, err := d.Spans()
+	return d.Snapshot().RenderMarkup()
+}
+
+// RenderMarkup renders this snapshot with inline layout markers.
+func (s *DocSnapshot) RenderMarkup() (string, error) {
+	spans, err := s.Spans()
 	if err != nil {
-		return nil2str(err)
+		return "", err
 	}
-	text := []rune(d.Text())
+	text := []rune(s.Text())
 
 	type marker struct {
 		pos   int
@@ -62,23 +83,29 @@ func (d *Document) RenderMarkup() (string, error) {
 		text  string
 	}
 	var markers []marker
-	for _, s := range spans {
-		from, to := d.SpanRange(s)
-		if s.Kind == SpanNote {
+	for _, sp := range spans {
+		if !s.t.Contains(sp.Start) {
+			continue // span over text the snapshot has never seen
+		}
+		from, to := s.SpanRange(sp)
+		if sp.Kind == SpanNote {
 			markers = append(markers, marker{pos: from, order: 0,
-				text: fmt.Sprintf("[note(%s): %s]", s.Author, s.Value)})
+				text: fmt.Sprintf("[note(%s): %s]", sp.Author, sp.Value)})
 			continue
 		}
 		if from >= to {
 			continue
 		}
-		openTxt := "<" + s.Kind
-		if s.Value != "" && s.Value != "true" {
-			openTxt += "=" + s.Value
+		if to > len(text) {
+			to = len(text)
+		}
+		openTxt := "<" + sp.Kind
+		if sp.Value != "" && sp.Value != "true" {
+			openTxt += "=" + sp.Value
 		}
 		openTxt += ">"
 		markers = append(markers, marker{pos: from, order: 1, text: openTxt})
-		markers = append(markers, marker{pos: to, order: -1, text: "</" + s.Kind + ">"})
+		markers = append(markers, marker{pos: to, order: -1, text: "</" + sp.Kind + ">"})
 	}
 	sort.SliceStable(markers, func(i, j int) bool {
 		if markers[i].pos != markers[j].pos {
@@ -100,5 +127,3 @@ func (d *Document) RenderMarkup() (string, error) {
 	}
 	return sb.String(), nil
 }
-
-func nil2str(err error) (string, error) { return "", err }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"tendax/internal/db"
+	"tendax/internal/texttree"
+	"tendax/internal/util"
+)
+
+// DocSnapshot is the document's MVCC read surface: an immutable view of
+// the text as of one committed operation, plus read helpers that resolve
+// spans, metadata, versions and diffs against that single view. Taking a
+// snapshot is O(1) and never blocks writers; every method on it runs
+// without touching the document lock, so any number of readers (renderers,
+// resyncs, diffs, searches, slow sockets) proceed while editors keep
+// committing. TeNDaX makes every edit a transaction, so read-mostly
+// collaborative traffic must come off the write path entirely — this type
+// is where it comes off.
+//
+// Writers publish a fresh snapshot atomically at each commit; a snapshot
+// already handed out is frozen forever and reclaimed by the garbage
+// collector once its last reader drops it.
+type DocSnapshot struct {
+	d   *Document
+	t   *texttree.Snapshot
+	seq uint64
+}
+
+// Snapshot returns the document's current committed state as an immutable
+// snapshot. Acquisition is a single atomic load.
+func (d *Document) Snapshot() *DocSnapshot {
+	p := d.snap.Load()
+	return &DocSnapshot{d: d, t: p.tree, seq: p.seq}
+}
+
+// SnapshotSeq returns the latest snapshot together with an awareness-bus
+// sequence number S guaranteed consistent with it: the snapshot contains
+// every text-mutating event with seq ≤ S and none with seq > S. Writers
+// store the (snapshot, seq) pair atomically with the sequence-number
+// assignment under the bus lock, so reading the bus sequence first and
+// accepting only a pair at or below it closes the race where an edit
+// commits between the two reads and the client then drops its push as a
+// pre-snapshot duplicate. The retry loop only spins while edits land in
+// the nanoseconds-wide window; the fallback answer (the pair's own seq) is
+// still drop-free, merely unaware of presence events published since.
+func (d *Document) SnapshotSeq() (*DocSnapshot, uint64) {
+	for i := 0; i < 4; i++ {
+		s := d.eng.bus.Seq(d.id)
+		p := d.snap.Load()
+		if p.seq <= s {
+			return &DocSnapshot{d: d, t: p.tree, seq: p.seq}, s
+		}
+	}
+	p := d.snap.Load()
+	return &DocSnapshot{d: d, t: p.tree, seq: p.seq}, p.seq
+}
+
+// Seq returns the awareness-bus sequence number of the event that
+// announced this snapshot's state: every text-mutating event with a
+// sequence number at or below it is contained in the snapshot.
+func (s *DocSnapshot) Seq() uint64 { return s.seq }
+
+// Tree exposes the underlying texttree snapshot for bulk character-level
+// access (tests, analyzers).
+func (s *DocSnapshot) Tree() *texttree.Snapshot { return s.t }
+
+// Doc returns the snapshotted document's ID.
+func (s *DocSnapshot) Doc() util.ID { return s.d.id }
+
+// Version identifies the committed buffer state this snapshot captured;
+// it increases monotonically with every committed text mutation.
+func (s *DocSnapshot) Version() uint64 { return s.t.Version() }
+
+// Len returns the number of visible characters.
+func (s *DocSnapshot) Len() int { return s.t.Len() }
+
+// TotalLen returns the number of character instances, tombstones included.
+func (s *DocSnapshot) TotalLen() int { return s.t.TotalLen() }
+
+// Text returns the full visible text without access filtering.
+func (s *DocSnapshot) Text() string { return s.t.Text() }
+
+// TextAt reconstructs the text as of instant t (time travel), as seen by
+// this snapshot: edits committed after the snapshot do not exist in it.
+func (s *DocSnapshot) TextAt(t time.Time) string { return s.t.TextAt(t) }
+
+// TextFor returns the text user may read, eliding characters masked by
+// range ACLs — the same fine-grained security filter as Document.TextFor,
+// applied to one consistent view.
+func (s *DocSnapshot) TextFor(user string) (string, error) {
+	if err := s.d.eng.allowed(user, s.d.id, RRead); err != nil {
+		return "", err
+	}
+	if s.d.eng.check == nil {
+		return s.t.Text(), nil
+	}
+	ids := s.t.VisibleIDs()
+	mask := s.d.eng.check.ReadableMask(user, s.d.id, ids)
+	var sb strings.Builder
+	i := 0
+	s.t.WalkVisible(func(ch *texttree.Char) bool {
+		if mask == nil || mask[i] {
+			sb.WriteRune(ch.Rune)
+		}
+		i++
+		return true
+	})
+	return sb.String(), nil
+}
+
+// CharMetaAt returns the metadata of the visible character at pos.
+func (s *DocSnapshot) CharMetaAt(pos int) (CharMeta, error) {
+	ch, ok := s.t.CharAt(pos)
+	if !ok {
+		return CharMeta{}, fmt.Errorf("%w: %d of %d", ErrRange, pos, s.t.Len())
+	}
+	return charMetaOf(&ch), nil
+}
+
+// RangeMeta returns metadata for the visible range [pos, pos+n). The whole
+// range resolves against this one snapshot: it can never mix characters
+// from two different committed states.
+func (s *DocSnapshot) RangeMeta(pos, n int) ([]CharMeta, error) {
+	if pos < 0 || n < 0 || pos+n > s.t.Len() {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrRange, pos, pos+n, s.t.Len())
+	}
+	out := make([]CharMeta, 0, n)
+	i := 0
+	s.t.WalkVisible(func(ch *texttree.Char) bool {
+		if i >= pos && i < pos+n {
+			out = append(out, charMetaOf(ch))
+		}
+		i++
+		return i < pos+n
+	})
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrRange, pos, pos+n, s.t.Len())
+	}
+	return out, nil
+}
+
+// Spans returns the document's active spans. Span rows live in the spans
+// table rather than the character chain, so this reads the latest
+// committed rows; anchors unknown to the snapshot (spans laid over text
+// inserted after it) resolve to empty ranges in SpanRange.
+func (s *DocSnapshot) Spans() ([]Span, error) { return s.d.Spans() }
+
+// SpanRange resolves a span's visible position range [start, end) against
+// this snapshot. Anchors may be tombstones: a tombstoned start contributes
+// the position where its text would resume; a tombstoned end closes the
+// range there. Anchors the snapshot has never seen contribute nothing.
+func (s *DocSnapshot) SpanRange(sp Span) (start, end int) {
+	if r, ok := s.t.RankOf(sp.Start); ok {
+		start = r
+	}
+	if r, ok := s.t.PosOf(sp.End); ok {
+		end = r + 1
+	} else if r, ok := s.t.RankOf(sp.End); ok {
+		end = r
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// VersionText reconstructs the document text as of the named version, as
+// seen by this snapshot.
+func (s *DocSnapshot) VersionText(versionID util.ID) (string, error) {
+	row, _, err := s.d.eng.tVersions.GetByPK(nil, int64(versionID))
+	if errors.Is(err, db.ErrNotFound) {
+		return "", ErrVersionNotFound
+	}
+	if err != nil {
+		return "", err
+	}
+	if util.ID(row[1].(int64)) != s.d.id {
+		return "", ErrVersionNotFound
+	}
+	return s.t.TextAt(row[4].(time.Time)), nil
+}
+
+// DiffVersions diffs two versions (older first) against this snapshot.
+// Passing util.NilID as `to` diffs against the snapshot's text. Both sides
+// reconstruct from the same view, so the diff is never torn by a write
+// landing between the two reads.
+func (s *DocSnapshot) DiffVersions(from, to util.ID) ([]Hunk, error) {
+	fromText, err := s.VersionText(from)
+	if err != nil {
+		return nil, err
+	}
+	var toText string
+	if to.IsNil() {
+		toText = s.t.Text()
+	} else {
+		toText, err = s.VersionText(to)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return DiffTexts(fromText, toText), nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tendax/internal/util"
+)
+
+// TestSnapshotIsolationFuzz is the randomized concurrent snapshot-
+// isolation test: N writer goroutines hammer one document with inserts,
+// deletes and layout spans while M reader goroutines continuously take
+// snapshots and assert each one is internally consistent — the visible
+// text matches the frozen character chain, all lengths agree, and no span
+// resolves to a torn range. Run it under -race; the short variant keeps CI
+// inside its budget, `go test` without -short runs the long one.
+func TestSnapshotIsolationFuzz(t *testing.T) {
+	duration := 4 * time.Second
+	writers, readers := 8, 4
+	if testing.Short() {
+		duration = 800 * time.Millisecond
+		writers, readers = 4, 3
+	}
+
+	e := newEngine(t)
+	d, err := e.CreateDocument("w0", "fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AppendText("w0", "seed text to fuzz over"); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers+1)
+	fail := func(format string, args ...interface{}) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+		stop.Store(true)
+	}
+
+	// Writers: concurrent position-based edits race each other, so a
+	// stale position yielding ErrRange is expected and retried; any other
+	// error is a real failure.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := fmt.Sprintf("w%d", w)
+			rng := util.NewRand(uint64(100 + w))
+			for !stop.Load() {
+				n := d.Len()
+				var err error
+				switch op := rng.Intn(10); {
+				case n == 0 || op < 5:
+					_, err = d.InsertText(user, rng.Intn(n+1), rng.Letters(1+rng.Intn(4)))
+				case op < 8:
+					span := 1 + rng.Intn(3)
+					pos := rng.Intn(n)
+					if pos+span > n {
+						span = n - pos
+					}
+					if span > 0 {
+						_, err = d.DeleteRange(user, pos, span)
+					}
+				default:
+					span := 1 + rng.Intn(5)
+					pos := rng.Intn(n)
+					if pos+span > n {
+						span = n - pos
+					}
+					if span > 0 {
+						_, err = d.ApplyLayout(user, pos, span, SpanBold, "true")
+					}
+				}
+				if err != nil && !errors.Is(err, ErrRange) {
+					fail("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: every snapshot must be internally consistent, no matter
+	// how it interleaves with the writers.
+	var reads atomic.Int64
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := util.NewRand(uint64(900 + r))
+			for !stop.Load() {
+				s := d.Snapshot()
+				tree := s.Tree()
+				if err := tree.CheckInvariants(); err != nil {
+					fail("reader %d: %v", r, err)
+					return
+				}
+				text := []rune(s.Text())
+				if len(text) != s.Len() {
+					fail("reader %d: text %d runes but Len %d", r, len(text), s.Len())
+					return
+				}
+				if s.Len() > 0 {
+					pos := rng.Intn(s.Len())
+					span := 1 + rng.Intn(s.Len()-pos)
+					meta, err := s.RangeMeta(pos, span)
+					if err != nil {
+						fail("reader %d: RangeMeta(%d,%d) of %d: %v", r, pos, span, s.Len(), err)
+						return
+					}
+					for i, m := range meta {
+						if m.Deleted {
+							fail("reader %d: RangeMeta returned a tombstone", r)
+							return
+						}
+						if m.Rune != text[pos+i] {
+							fail("reader %d: RangeMeta rune %q vs text %q at %d", r, m.Rune, text[pos+i], pos+i)
+							return
+						}
+					}
+				}
+				spans, err := s.Spans()
+				if err != nil {
+					fail("reader %d: Spans: %v", r, err)
+					return
+				}
+				for _, sp := range spans {
+					from, to := s.SpanRange(sp)
+					if from < 0 || to < from || from > s.Len() {
+						fail("reader %d: torn span range [%d,%d) of %d", r, from, to, s.Len())
+						return
+					}
+					if to > s.Len() {
+						fail("reader %d: span end %d beyond snapshot %d", r, to, s.Len())
+						return
+					}
+				}
+				if _, err := s.RenderMarkup(); err != nil {
+					fail("reader %d: RenderMarkup: %v", r, err)
+					return
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+
+	// Quiesced: the final snapshot is the final state, and buffer,
+	// snapshot and database all agree.
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Snapshot()
+	if s.Text() != d.Text() {
+		t.Fatal("final snapshot diverged from live text")
+	}
+	t.Logf("fuzz: %d consistent snapshot reads against %d writers", reads.Load(), writers)
+}
+
+// TestSnapshotSeqPairsTextWithEvents locks in the SnapshotSeq contract
+// under concurrency: with single-character appends as the only event
+// source, a snapshot paired with event sequence S must contain exactly S
+// characters — the pair can never expose a sequence number without the
+// text it announced (the torn read the seed's separate text/Seq lookups
+// allowed, which made clients drop the in-between edit as a duplicate).
+func TestSnapshotSeqPairsTextWithEvents(t *testing.T) {
+	e := newEngine(t)
+	d, err := e.CreateDocument("w", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := d.AppendText("w", "x"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(600 * time.Millisecond)
+	checks := 0
+	for time.Now().Before(deadline) {
+		snap, seq := d.SnapshotSeq()
+		if seq < snap.Seq() {
+			t.Errorf("returned seq %d below the pair's own %d", seq, snap.Seq())
+			break
+		}
+		if uint64(snap.Len()) != snap.Seq() {
+			t.Errorf("pair seq %d but text has %d chars", snap.Seq(), snap.Len())
+			break
+		}
+		checks++
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if checks == 0 {
+		t.Fatal("no paired reads performed")
+	}
+}
+
+// TestSnapshotReadersDoNotBlockWriters verifies the headline property at
+// the API level: a reader holding (and continuously using) old snapshots
+// cannot stall a writer, because snapshot acquisition and traversal take
+// no document lock.
+func TestSnapshotReadersDoNotBlockWriters(t *testing.T) {
+	e := newEngine(t)
+	d, err := e.CreateDocument("w", "noblock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AppendText("w", "some starting text"); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := d.Snapshot() // pin an old version for the whole run
+			for !stop.Load() {
+				_ = held.Text()
+				_ = d.Snapshot().Text()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := d.AppendText("w", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if d.Len() != len("some starting text")+200 {
+		t.Fatalf("writer lost edits: %d", d.Len())
+	}
+}

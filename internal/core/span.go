@@ -75,7 +75,7 @@ func (d *Document) ApplyLayout(user string, pos, n int, kind, value string) (uti
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout", Ref: spanID, Created: now})
 	d.noteAuthorLocked(user, now)
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvLayout, User: user, OpID: opID,
 		Pos: pos, N: n, Name: kind + "=" + value, At: now,
 	})
@@ -121,7 +121,7 @@ func (d *Document) InsertNote(user string, pos int, text string) (util.ID, error
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout", Ref: spanID, Created: now})
 	d.noteAuthorLocked(user, now)
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvNote, User: user, OpID: opID,
 		Pos: pos, Text: text, At: now,
 	})
@@ -161,7 +161,7 @@ func (d *Document) RemoveSpan(user string, spanID util.ID) error {
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout-remove", Ref: spanID, Created: now})
 	d.noteAuthorLocked(user, now)
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvLayout, User: user, OpID: opID,
 		Name: "remove", At: now,
 	})
@@ -202,22 +202,10 @@ func spanFromRow(row db.Row) Span {
 	}
 }
 
-// SpanRange resolves a span's current visible position range [start, end).
+// SpanRange resolves a span's current visible position range [start, end)
+// against the latest committed snapshot, without taking the document lock.
 // Anchors may be tombstones: a tombstoned start contributes the position
 // where its text would resume; a tombstoned end closes the range there.
 func (d *Document) SpanRange(s Span) (start, end int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if r, ok := d.buf.RankOf(s.Start); ok {
-		start = r
-	}
-	if r, ok := d.buf.PosOf(s.End); ok {
-		end = r + 1
-	} else if r, ok := d.buf.RankOf(s.End); ok {
-		end = r
-	}
-	if end < start {
-		end = start
-	}
-	return start, end
+	return d.Snapshot().SpanRange(s)
 }

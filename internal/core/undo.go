@@ -262,7 +262,7 @@ func (d *Document) undo(user string, local bool) (util.ID, error) {
 	d.ops = append(d.ops, opRecord{ID: undoID, User: user, Kind: "undo",
 		CharIDs: plan.affected, Ref: target.ID, Created: now})
 	d.noteAuthorLocked(user, now)
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvUndo, User: user, OpID: undoID,
 		Name: target.Kind, N: len(target.CharIDs), At: now,
 	})
@@ -338,7 +338,7 @@ func (d *Document) redo(user string, local bool) (util.ID, error) {
 	d.ops = append(d.ops, opRecord{ID: redoID, User: user, Kind: "redo",
 		CharIDs: target.CharIDs, Ref: target.ID, Created: now})
 	d.noteAuthorLocked(user, now)
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvRedo, User: user, OpID: redoID,
 		Name: target.Kind, N: len(target.CharIDs), At: now,
 	})

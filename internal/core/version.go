@@ -43,7 +43,7 @@ func (d *Document) CreateVersion(user, name string) (Version, error) {
 		return Version{}, err
 	}
 	v := Version{ID: id, Name: name, Author: user, At: now}
-	d.eng.bus.Publish(awareness.Event{
+	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvVersion, User: user, Name: name, At: now,
 	})
 	return v, nil
@@ -72,30 +72,17 @@ func (d *Document) Versions() ([]Version, error) {
 	return out, nil
 }
 
-// VersionText reconstructs the document text as of the given version.
+// VersionText reconstructs the document text as of the given version,
+// against the latest committed snapshot: the reconstruction never holds
+// the document lock.
 func (d *Document) VersionText(versionID util.ID) (string, error) {
-	row, _, err := d.eng.tVersions.GetByPK(nil, int64(versionID))
-	if errors.Is(err, db.ErrNotFound) {
-		return "", ErrVersionNotFound
-	}
-	if err != nil {
-		return "", err
-	}
-	if util.ID(row[1].(int64)) != d.id {
-		return "", ErrVersionNotFound
-	}
-	at := row[4].(time.Time)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.buf.TextAt(at), nil
+	return d.Snapshot().VersionText(versionID)
 }
 
 // TextAt reconstructs the text at an arbitrary instant (time travel over
-// the editing history).
+// the editing history), against the latest committed snapshot.
 func (d *Document) TextAt(t time.Time) string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.buf.TextAt(t)
+	return d.snap.Load().tree.TextAt(t)
 }
 
 // ReadEvent is one recorded read of a document.

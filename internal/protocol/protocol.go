@@ -139,10 +139,17 @@ type Message struct {
 	Version  uint64 `json:"version,omitempty"`
 
 	// Response fields.
-	OK       bool        `json:"ok,omitempty"`
-	Err      string      `json:"err,omitempty"`
-	Seq      uint64      `json:"seq,omitempty"`
-	OpID     uint64      `json:"opId,omitempty"`
+	OK   bool   `json:"ok,omitempty"`
+	Err  string `json:"err,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
+	OpID uint64 `json:"opId,omitempty"`
+	// Snap is the MVCC snapshot version the returned Text was read from:
+	// within one server process it increases monotonically with every
+	// committed text mutation of the document, so a client can tell which
+	// of two reads is fresher. A restarted server starts the counter over
+	// (it counts in-memory buffer mutations since load), so versions are
+	// only comparable between reads served by the same process.
+	Snap     uint64      `json:"snap,omitempty"`
 	Docs     []DocInfo   `json:"docs,omitempty"`
 	Versions []Version   `json:"versions,omitempty"`
 	Present  []Presence  `json:"present,omitempty"`

@@ -203,27 +203,38 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 			out[i] = wireInfo(in)
 		}
 		return &protocol.Message{OK: true, Docs: out}
+	// Full-document reads (open, resync, plain text) are served from the
+	// document's MVCC snapshot: the traversal and the socket write happen
+	// entirely off the document lock, so a slow or resyncing connection
+	// never stalls the editors committing keystrokes. SnapshotSeq pairs the
+	// text with a bus sequence number that is exactly consistent with it
+	// (the seed read the two separately, so an edit committing in between
+	// was dropped by the client as a pre-snapshot duplicate); the response
+	// also carries the snapshot version so clients can order reads.
 	case protocol.OpOpenDoc:
 		d, err := c.doc(req)
 		if err != nil {
 			return fail(err)
 		}
-		text, err := d.TextFor(c.user)
+		snap, seq := d.SnapshotSeq()
+		text, err := snap.TextFor(c.user)
 		if err != nil {
 			return fail(err)
 		}
 		return &protocol.Message{OK: true, Doc: req.Doc, Text: text,
-			Seq: c.srv.eng.Bus().Seq(d.ID())}
+			Seq: seq, Snap: snap.Version()}
 	case protocol.OpText:
 		d, err := c.doc(req)
 		if err != nil {
 			return fail(err)
 		}
-		text, err := d.TextFor(c.user)
+		snap, seq := d.SnapshotSeq()
+		text, err := snap.TextFor(c.user)
 		if err != nil {
 			return fail(err)
 		}
-		return &protocol.Message{OK: true, Text: text, Seq: c.srv.eng.Bus().Seq(d.ID())}
+		return &protocol.Message{OK: true, Text: text,
+			Seq: seq, Snap: snap.Version()}
 	case protocol.OpRead:
 		d, err := c.doc(req)
 		if err != nil {

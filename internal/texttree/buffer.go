@@ -37,16 +37,29 @@ var ErrUnknownChar = errors.New("texttree: unknown character")
 // Buffer is the in-memory working form of one document's text: the full
 // character chain plus the order index. The database rows remain the source
 // of truth; a Buffer can always be rebuilt from them with Load.
+//
+// Alongside the mutable index the buffer maintains a persistent
+// (path-copying) mirror of the whole document, so Snapshot can hand out an
+// immutable O(1) view at any time. Character records are copy-on-write:
+// once a *Char has been reachable from a snapshot it is never mutated —
+// updates replace the map entry and path-copy the mirror instead.
 type Buffer struct {
 	order *Order
 	chars map[util.ID]*Char
 	head  util.ID // first character instance in the chain (may be tombstone)
+
+	proot   *pnode // persistent treap mirror (snapshot root)
+	version uint64 // increments on every mutation
 }
 
 // NewBuffer returns an empty buffer.
 func NewBuffer() *Buffer {
 	return &Buffer{order: NewOrder(), chars: make(map[util.ID]*Char)}
 }
+
+// Version identifies the buffer's current state; it increments on every
+// mutation and stamps the snapshots taken from it.
+func (b *Buffer) Version() uint64 { return b.version }
 
 // Load rebuilds the buffer from persisted character rows. The rows may be
 // in any order; the chain is reassembled from the neighbour links.
@@ -75,6 +88,7 @@ func Load(rows []Char) (*Buffer, error) {
 	b.head = head.ID
 	prev := util.NilID
 	count := 0
+	ordered := make([]*Char, 0, len(b.chars))
 	for id := head.ID; !id.IsNil(); {
 		ch := b.chars[id]
 		if ch == nil {
@@ -85,12 +99,14 @@ func Load(rows []Char) (*Buffer, error) {
 			return nil, errors.New("texttree: chain has a cycle")
 		}
 		b.order.InsertAfter(prev, id, !ch.Deleted)
+		ordered = append(ordered, ch)
 		prev = id
 		id = ch.Next
 	}
 	if count != len(b.chars) {
 		return nil, fmt.Errorf("texttree: %d chars unreachable from head", len(b.chars)-count)
 	}
+	b.proot = pbuild(ordered)
 	return b, nil
 }
 
@@ -141,6 +157,8 @@ func (b *Buffer) PredecessorForInsert(pos int) (util.ID, error) {
 // InsertAfter chains ch immediately after prev (NilID = front of document)
 // and returns the neighbour whose Prev link changed (the old successor), so
 // the caller can persist both affected rows. ch.Prev/ch.Next are set here.
+// On error the buffer is unchanged: all arguments are validated before the
+// first mutation, so a failed insert can never leave a torn chain.
 func (b *Buffer) InsertAfter(prev util.ID, ch Char) (updatedNext util.ID, err error) {
 	if _, dup := b.chars[ch.ID]; dup {
 		return util.NilID, fmt.Errorf("texttree: duplicate char %v", ch.ID)
@@ -148,27 +166,52 @@ func (b *Buffer) InsertAfter(prev util.ID, ch Char) (updatedNext util.ID, err er
 	var next util.ID
 	if prev.IsNil() {
 		next = b.head
-		b.head = ch.ID
 	} else {
 		p, ok := b.chars[prev]
 		if !ok {
 			return util.NilID, fmt.Errorf("%w: predecessor %v", ErrUnknownChar, prev)
 		}
 		next = p.Next
-		p.Next = ch.ID
+	}
+	if !next.IsNil() {
+		if _, ok := b.chars[next]; !ok {
+			return util.NilID, fmt.Errorf("%w: successor %v", ErrUnknownChar, next)
+		}
+	}
+
+	// Validated; now mutate. Neighbour records are copy-on-write so that
+	// published snapshots keep their frozen chain links.
+	if prev.IsNil() {
+		b.head = ch.ID
+	} else {
+		np := *b.chars[prev]
+		np.Next = ch.ID
+		b.chars[prev] = &np
 	}
 	ch.Prev = prev
 	ch.Next = next
 	if !next.IsNil() {
-		n, ok := b.chars[next]
-		if !ok {
-			return util.NilID, fmt.Errorf("%w: successor %v", ErrUnknownChar, next)
-		}
-		n.Prev = ch.ID
+		nn := *b.chars[next]
+		nn.Prev = ch.ID
+		b.chars[next] = &nn
 	}
 	c := ch
 	b.chars[c.ID] = &c
 	b.order.InsertAfter(prev, c.ID, !c.Deleted)
+
+	// Mirror into the persistent treap: insert the new node at its total
+	// rank and re-point the two rewritten neighbour records.
+	r, _ := b.order.TotalRank(c.ID)
+	b.proot = pinsert(b.proot, r, &pnode{id: c.ID, prio: prioFor(c.ID), visible: !c.Deleted, ch: &c})
+	if !prev.IsNil() {
+		pr, _ := b.order.TotalRank(prev)
+		b.proot = pset(b.proot, pr, b.chars[prev], b.order.Visible(prev))
+	}
+	if !next.IsNil() {
+		nr, _ := b.order.TotalRank(next)
+		b.proot = pset(b.proot, nr, b.chars[next], b.order.Visible(next))
+	}
+	b.version++
 	return next, nil
 }
 
@@ -181,10 +224,15 @@ func (b *Buffer) Delete(id util.ID, by string, at time.Time) error {
 	if ch.Deleted {
 		return nil
 	}
-	ch.Deleted = true
-	ch.DeletedBy = by
-	ch.DeletedAt = at
+	nc := *ch
+	nc.Deleted = true
+	nc.DeletedBy = by
+	nc.DeletedAt = at
+	b.chars[id] = &nc
 	b.order.SetVisible(id, false)
+	r, _ := b.order.TotalRank(id)
+	b.proot = pset(b.proot, r, &nc, false)
+	b.version++
 	return nil
 }
 
@@ -197,10 +245,15 @@ func (b *Buffer) Undelete(id util.ID) error {
 	if !ch.Deleted {
 		return nil
 	}
-	ch.Deleted = false
-	ch.DeletedBy = ""
-	ch.DeletedAt = time.Time{}
+	nc := *ch
+	nc.Deleted = false
+	nc.DeletedBy = ""
+	nc.DeletedAt = time.Time{}
+	b.chars[id] = &nc
 	b.order.SetVisible(id, true)
+	r, _ := b.order.TotalRank(id)
+	b.proot = pset(b.proot, r, &nc, true)
+	b.version++
 	return nil
 }
 
@@ -324,6 +377,9 @@ func (b *Buffer) CheckInvariants() error {
 		if b.order.Len() != 0 {
 			return errors.New("texttree: empty chars but non-empty order")
 		}
+		if b.proot.sizeOf() != 0 {
+			return errors.New("texttree: empty chars but non-empty snapshot mirror")
+		}
 		return nil
 	}
 	var chain []util.ID
@@ -379,5 +435,26 @@ func (b *Buffer) CheckInvariants() error {
 	if visible != b.order.VisibleLen() {
 		return fmt.Errorf("texttree: visible count %d vs %d", visible, b.order.VisibleLen())
 	}
+	// The persistent mirror must agree with the mutable structures exactly:
+	// a divergence here means snapshots are lying about the document.
+	snap := b.Snapshot()
+	if err := snap.CheckInvariants(); err != nil {
+		return fmt.Errorf("texttree: snapshot mirror: %w", err)
+	}
+	if snap.TotalLen() != b.TotalLen() || snap.Len() != b.Len() {
+		return fmt.Errorf("texttree: snapshot mirror counts %d/%d vs %d/%d",
+			snap.TotalLen(), snap.Len(), b.TotalLen(), b.Len())
+	}
+	if got, want := snap.Text(), b.Text(); got != want {
+		return fmt.Errorf("texttree: snapshot mirror text diverged:\n mirror %q\n live   %q",
+			clip(got, 60), clip(want, 60))
+	}
 	return nil
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
 }

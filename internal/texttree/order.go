@@ -188,6 +188,25 @@ func (o *Order) VisibleRank(id util.ID) (int, bool) {
 	return rank, true
 }
 
+// TotalRank returns the number of character instances (visible and
+// tombstoned) strictly before id: its 0-based position in the total order.
+// The writer-side snapshot mirror uses it to address the persistent treap
+// by rank, which is the one query the parent-pointer treap can answer in
+// O(log n) and a path-copying treap cannot.
+func (o *Order) TotalRank(id util.ID) (int, bool) {
+	n := o.nodes[id]
+	if n == nil {
+		return 0, false
+	}
+	rank := n.left.sizeOf()
+	for at := n; at.parent != nil; at = at.parent {
+		if at.parent.right == at {
+			rank += at.parent.left.sizeOf() + 1
+		}
+	}
+	return rank, true
+}
+
 // Walk visits every character instance in order (tombstones included)
 // until fn returns false.
 func (o *Order) Walk(fn func(id util.ID, visible bool) bool) {

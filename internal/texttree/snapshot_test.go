@@ -1,0 +1,272 @@
+package texttree
+
+import (
+	"testing"
+	"time"
+
+	"tendax/internal/util"
+)
+
+func TestSnapshotIsolationFromLaterWrites(t *testing.T) {
+	b, gen := bufWithText(t, "hello")
+	s1 := b.Snapshot()
+	if s1.Text() != "hello" || s1.Len() != 5 {
+		t.Fatalf("snapshot text %q len %d", s1.Text(), s1.Len())
+	}
+	v1 := s1.Version()
+
+	// A snapshot taken before a write must never observe the write.
+	prev, err := b.PredecessorForInsert(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InsertAfter(prev, Char{ID: gen.Next(), Rune: '!', Author: "u2", Created: time.Unix(2, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := b.IDAt(0)
+	if err := b.Delete(id, "u2", time.Unix(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Text() != "hello" || s1.Len() != 5 || s1.TotalLen() != 5 {
+		t.Fatalf("snapshot observed later writes: %q", s1.Text())
+	}
+	if s1.Version() != v1 {
+		t.Fatal("snapshot version moved")
+	}
+	if err := s1.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := b.Snapshot()
+	if s2.Text() != "ello!" {
+		t.Fatalf("new snapshot text %q", s2.Text())
+	}
+	if s2.Version() <= v1 {
+		t.Fatalf("version did not advance: %d <= %d", s2.Version(), v1)
+	}
+	// The frozen char records disagree across versions, as they must.
+	c1, ok := s1.Char(id)
+	if !ok || c1.Deleted {
+		t.Fatal("old snapshot lost the pre-delete record")
+	}
+	c2, ok := s2.Char(id)
+	if !ok || !c2.Deleted {
+		t.Fatal("new snapshot missed the delete")
+	}
+}
+
+func TestSnapshotRanksAndRanges(t *testing.T) {
+	b, _ := bufWithText(t, "0123456789")
+	id3, _ := b.IDAt(3)
+	if err := b.Delete(id3, "u", time.Unix(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Snapshot()
+	if got := s.Slice(2, 4); got != "2456" {
+		t.Fatalf("Slice = %q", got)
+	}
+	if ids := s.RangeIDs(0, 3); len(ids) != 3 {
+		t.Fatalf("RangeIDs len %d", len(ids))
+	}
+	// Tombstone rank: position where its text would resume.
+	r, ok := s.RankOf(id3)
+	if !ok || r != 3 {
+		t.Fatalf("tombstone RankOf = %d, %v", r, ok)
+	}
+	if _, ok := s.PosOf(id3); ok {
+		t.Fatal("PosOf succeeded on a tombstone")
+	}
+	id4, _ := s.IDAt(3) // visible position 3 is now '4'
+	ch, ok := s.Char(id4)
+	if !ok || ch.Rune != '4' {
+		t.Fatalf("Char(%v) = %q", id4, ch.Rune)
+	}
+	p, ok := s.PosOf(id4)
+	if !ok || p != 3 {
+		t.Fatalf("PosOf = %d", p)
+	}
+	if _, ok := s.RankOf(util.ID(9999)); ok {
+		t.Fatal("RankOf of unknown id succeeded")
+	}
+	// Mirror of the buffer's positional queries.
+	for pos := 0; pos < s.Len(); pos++ {
+		want, _ := b.IDAt(pos)
+		got, ok := s.IDAt(pos)
+		if !ok || got != want {
+			t.Fatalf("IDAt(%d) = %v, want %v", pos, got, want)
+		}
+	}
+}
+
+// TestSnapshotTimeTravelAgreement is the property test required by the
+// snapshot work: a snapshot captured right after the op at time t must
+// agree byte-for-byte with the live buffer's time-travel reconstruction
+// TextAt(t), for every op in a random insert/delete history.
+func TestSnapshotTimeTravelAgreement(t *testing.T) {
+	rng := util.NewRand(41)
+	var gen util.IDGen
+	b := NewBuffer()
+	type point struct {
+		at   time.Time
+		snap *Snapshot
+		text string
+	}
+	var points []point
+	now := int64(0)
+	for step := 0; step < 600; step++ {
+		now++
+		at := time.Unix(now, 0)
+		if b.Len() == 0 || rng.Intn(3) != 0 {
+			pos := rng.Intn(b.Len() + 1)
+			prev, err := b.PredecessorForInsert(pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rune('a' + rng.Intn(26))
+			if _, err := b.InsertAfter(prev, Char{ID: gen.Next(), Rune: r, Author: "u", Created: at}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			pos := rng.Intn(b.Len())
+			id, _ := b.IDAt(pos)
+			if err := b.Delete(id, "u", at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		points = append(points, point{at: at, snap: b.Snapshot(), text: b.Text()})
+	}
+	for i, p := range points {
+		if got := b.TextAt(p.at); got != p.snap.Text() {
+			t.Fatalf("op %d: TextAt(%v) = %q, snapshot captured %q", i, p.at, clip(got, 60), clip(p.snap.Text(), 60))
+		}
+		if p.snap.Text() != p.text {
+			t.Fatalf("op %d: snapshot drifted after later ops", i)
+		}
+		// Time travel *within* an old snapshot agrees with the even older
+		// snapshot captured at that instant.
+		if i > 0 {
+			j := rng.Intn(i)
+			if got := p.snap.TextAt(points[j].at); got != points[j].snap.Text() {
+				t.Fatalf("op %d: snapshot TextAt(op %d) = %q, want %q", i, j, clip(got, 60), clip(points[j].snap.Text(), 60))
+			}
+		}
+	}
+}
+
+// TestSnapshotRandomisedMatchesBuffer drives the buffer with random
+// inserts, deletes and undeletes and verifies at every step that a fresh
+// snapshot matches the live buffer exactly, and that a sample of old
+// snapshots still pass their own invariants untouched.
+func TestSnapshotRandomisedMatchesBuffer(t *testing.T) {
+	rng := util.NewRand(13)
+	var gen util.IDGen
+	b := NewBuffer()
+	var tombstones []util.ID
+	type kept struct {
+		snap *Snapshot
+		text string
+	}
+	var old []kept
+	now := int64(0)
+	for step := 0; step < 2500; step++ {
+		now++
+		switch r := rng.Intn(10); {
+		case b.Len() == 0 || r < 5:
+			pos := rng.Intn(b.Len() + 1)
+			prev, err := b.PredecessorForInsert(pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.InsertAfter(prev, Char{ID: gen.Next(), Rune: rune('a' + rng.Intn(26)), Author: "u", Created: time.Unix(now, 0)}); err != nil {
+				t.Fatal(err)
+			}
+		case r < 8:
+			pos := rng.Intn(b.Len())
+			id, _ := b.IDAt(pos)
+			if err := b.Delete(id, "u", time.Unix(now, 0)); err != nil {
+				t.Fatal(err)
+			}
+			tombstones = append(tombstones, id)
+		default:
+			if len(tombstones) == 0 {
+				continue
+			}
+			id := tombstones[len(tombstones)-1]
+			tombstones = tombstones[:len(tombstones)-1]
+			if err := b.Undelete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := b.Snapshot()
+		if s.Text() != b.Text() || s.Len() != b.Len() || s.TotalLen() != b.TotalLen() {
+			t.Fatalf("step %d: snapshot/buffer mismatch", step)
+		}
+		if step%250 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			old = append(old, kept{snap: s, text: b.Text()})
+		}
+	}
+	for i, k := range old {
+		if k.snap.Text() != k.text {
+			t.Fatalf("old snapshot %d drifted", i)
+		}
+		if err := k.snap.CheckInvariants(); err != nil {
+			t.Fatalf("old snapshot %d: %v", i, err)
+		}
+	}
+}
+
+// TestBufferErrorPathsLeaveStateUnchanged covers the audited error paths:
+// a failed insert (duplicate ID or unknown predecessor) must leave the
+// buffer, its version and its snapshot mirror untouched.
+func TestBufferErrorPathsLeaveStateUnchanged(t *testing.T) {
+	b, _ := bufWithText(t, "abc")
+	v := b.Version()
+	id0, _ := b.IDAt(0)
+	if _, err := b.InsertAfter(util.NilID, Char{ID: id0, Rune: 'x'}); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if _, err := b.InsertAfter(util.ID(777), Char{ID: util.ID(888), Rune: 'x'}); err == nil {
+		t.Fatal("insert after unknown predecessor succeeded")
+	}
+	if err := b.Delete(util.ID(777), "u", time.Unix(9, 0)); err == nil {
+		t.Fatal("delete of unknown id succeeded")
+	}
+	if err := b.Undelete(util.ID(777)); err == nil {
+		t.Fatal("undelete of unknown id succeeded")
+	}
+	if b.Version() != v {
+		t.Fatal("failed mutations bumped the version")
+	}
+	if b.Text() != "abc" {
+		t.Fatalf("failed mutations changed the text: %q", b.Text())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotLoadBuildsMirror(t *testing.T) {
+	b, gen := bufWithText(t, "persistent mirror")
+	id, _ := b.IDAt(4)
+	b.Delete(id, "u", time.Unix(5, 0))
+	prev, _ := b.PredecessorForInsert(0)
+	b.InsertAfter(prev, Char{ID: gen.Next(), Rune: '>', Author: "u", Created: time.Unix(6, 0)})
+
+	b2, err := Load(b.AllChars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b2.Snapshot()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Text() != b.Text() {
+		t.Fatalf("loaded mirror text %q, want %q", s.Text(), b.Text())
+	}
+	if s.AllChars()[0].ID != b2.Head() {
+		t.Fatal("AllChars does not start at head")
+	}
+}

@@ -1,0 +1,161 @@
+package tendax_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/util"
+	"tendax/internal/workload"
+)
+
+// seedE13Doc opens a file-backed engine with one document pre-grown to
+// ~2000 characters, the shared fixture of the E13 benchmarks.
+func seedE13Doc(b *testing.B) (*core.Document, *db.Database) {
+	b.Helper()
+	database, err := db.Open(db.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := eng.CreateDocument("u", "e13")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := util.NewRand(29)
+	for doc.Len() < 2000 {
+		if _, err := doc.AppendText("u", rng.Letters(500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return doc, database
+}
+
+// BenchmarkE13SnapshotReads measures the mixed read/write workload of
+// EXPERIMENTS.md E13: 8 writers durably appending to one shared document
+// while M reader goroutines take MVCC snapshots and read the full text at
+// a steady resync-like pace (one full-document read every 5ms each).
+// Reads resolve against immutable snapshots and never touch the document
+// lock, so the writers' p50 commit latency stays within noise of the
+// readers=0 baseline while every reader sustains its read rate. The
+// readers are paced rather than spinning because a busy-loop reader on a
+// small machine measures scheduler time-slicing, not lock contention —
+// BenchmarkE13SnapshotReadThroughput below measures raw read bandwidth.
+func BenchmarkE13SnapshotReads(b *testing.B) {
+	const writers = 8
+	const readPace = 5 * time.Millisecond
+	for _, readers := range []int{0, 1, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			doc, database := seedE13Doc(b)
+			defer database.Close()
+
+			per := b.N / writers
+			if per == 0 {
+				per = 1
+			}
+			var stop atomic.Bool
+			var readCount atomic.Int64
+			var rwg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					for !stop.Load() {
+						s := doc.Snapshot()
+						if len(s.Text()) < 2000 {
+							panic("snapshot lost the document")
+						}
+						readCount.Add(1)
+						time.Sleep(readPace)
+					}
+				}()
+			}
+
+			lats := make([][]time.Duration, writers)
+			b.ResetTimer()
+			start := time.Now()
+			var wwg sync.WaitGroup
+			errs := make(chan error, writers)
+			for w := 0; w < writers; w++ {
+				wwg.Add(1)
+				go func(w int) {
+					defer wwg.Done()
+					lats[w] = make([]time.Duration, 0, per)
+					for j := 0; j < per; j++ {
+						t0 := time.Now()
+						if _, err := doc.AppendText("u", "x"); err != nil {
+							errs <- err
+							return
+						}
+						lats[w] = append(lats[w], time.Since(t0))
+					}
+				}(w)
+			}
+			wwg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			stop.Store(true)
+			rwg.Wait()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+
+			var rec workload.LatencyRecorder
+			for _, ls := range lats {
+				for _, l := range ls {
+					rec.Record(l)
+				}
+			}
+			b.ReportMetric(float64(rec.Percentile(50).Nanoseconds()), "p50-commit-ns")
+			b.ReportMetric(float64(readCount.Load())/elapsed.Seconds(), "reads/s")
+			if err := doc.CheckInvariants(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkE13SnapshotReadThroughput measures raw snapshot read bandwidth:
+// R goroutines splitting b.N full-document snapshot reads with no writers
+// in the way. There is no lock to collapse on, so aggregate throughput
+// scales with cores (and stays flat per-core on a single-CPU machine).
+func BenchmarkE13SnapshotReadThroughput(b *testing.B) {
+	for _, readers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			doc, database := seedE13Doc(b)
+			defer database.Close()
+			per := b.N / readers
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						s := doc.Snapshot()
+						if len(s.Text()) < 2000 {
+							panic("snapshot lost the document")
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(readers*per)/elapsed.Seconds(), "reads/s")
+		})
+	}
+}
