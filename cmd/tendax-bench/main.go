@@ -1,14 +1,17 @@
-// Command tendax-bench runs the TeNDaX reproduction experiments E1–E13
-// (see DESIGN.md §8 and EXPERIMENTS.md) and prints one table per
-// experiment. E6 additionally writes lineage.dot (Figure 1) and E7 prints
-// the document-space scatter (Figure 2).
+// Command tendax-bench runs the TeNDaX reproduction experiments E1–E14
+// (see DESIGN.md and EXPERIMENTS.md) and prints one table per experiment.
+// E6 additionally writes lineage.dot (Figure 1), E7 prints the
+// document-space scatter (Figure 2), and -json writes the key metrics of
+// the experiments that ran as a machine-readable report for the CI
+// regression gate (cmd/tendax-trend).
 //
 // Usage:
 //
-//	tendax-bench [-exp all|e1|e2|...|e13] [-quick] [-out lineage.dot]
+//	tendax-bench [-exp all|e1|e2|...|e14] [-quick] [-out lineage.dot] [-json report.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -17,9 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e13 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e14 or all)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast smoke run")
 	out := flag.String("out", "lineage.dot", "output path for the E6 lineage DOT file")
+	jsonOut := flag.String("json", "", "write machine-readable metrics of the experiments run to this file")
 	flag.Parse()
 
 	runs := []struct {
@@ -40,6 +44,7 @@ func main() {
 		{"e11", "Group-commit durability pipeline", runE11},
 		{"e12", "Fuzzy checkpoints and bounded recovery", runE12},
 		{"e13", "Snapshot reads: MVCC mixed read/write workload", runE13},
+		{"e14", "Tombstone compaction and cold archive", runE14},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -55,5 +60,15 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal metrics: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("\nmetrics written to %s\n", *jsonOut)
 	}
 }

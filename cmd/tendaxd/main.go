@@ -33,6 +33,10 @@ func main() {
 		"fuzzy checkpoint interval (0 disables the timer trigger)")
 	ckptBytes := flag.Int64("checkpoint-log-bytes", 64<<20,
 		"fuzzy checkpoint when the WAL exceeds this many bytes (0 disables)")
+	compactEvery := flag.Duration("compact-interval", 5*time.Minute,
+		"tombstone compaction interval (0 disables the background compactor)")
+	compactRetention := flag.Duration("compact-retention", time.Hour,
+		"tombstones deleted more than this long ago are archived out of the hot structures")
 	flag.Parse()
 
 	database, err := db.Open(db.Options{
@@ -49,6 +53,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("tendaxd: engine: %v", err)
 	}
+	eng.StartCompactor(*compactEvery, *compactRetention)
+	defer func() {
+		if err := eng.StopCompactor(); err != nil {
+			log.Printf("tendaxd: background compaction: %v", err)
+		}
+	}()
 	var sec *security.Store
 	if *auth {
 		sec, err = security.NewStore(eng)
@@ -77,7 +87,7 @@ func main() {
 	go func() {
 		<-sig
 		log.Print("tendaxd: shutting down")
-		srv.Close()
+		_ = srv.Close()
 	}()
 	if err := srv.Serve(); err != nil {
 		log.Fatalf("tendaxd: serve: %v", err)

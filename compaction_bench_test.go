@@ -1,0 +1,106 @@
+// BenchmarkE14Compaction regenerates experiment E14 (DESIGN.md §6): the
+// cost of opening a long-lived, mostly-deleted document with and without
+// tombstone compaction, plus the cost of the compaction pass itself.
+package tendax_test
+
+import (
+	"testing"
+
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/util"
+)
+
+// e14Doc builds a document of `chars` instances with 90% deleted and
+// returns the engine, database and document.
+func e14Doc(b *testing.B, chars int) (*core.Engine, *db.Database, *core.Document) {
+	b.Helper()
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := eng.CreateDocument("u", "e14")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := util.NewRand(14)
+	for doc.Len() < chars {
+		chunk := chars - doc.Len()
+		if chunk > 500 {
+			chunk = 500
+		}
+		if _, err := doc.AppendText("u", rng.Letters(chunk)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for deleted := 0; deleted < chars*9/10; {
+		n := chars*9/10 - deleted
+		if n > 500 {
+			n = 500
+		}
+		if _, err := doc.DeleteRange("u", 0, n); err != nil {
+			b.Fatal(err)
+		}
+		deleted += n
+	}
+	return eng, database, doc
+}
+
+func BenchmarkE14Compaction(b *testing.B) {
+	const chars = 20_000
+	load := func(b *testing.B, database *db.Database, doc *core.Document) {
+		b.Helper()
+		docID := doc.ID()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e2, err := core.NewEngine(database, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e2.OpenDocument(docID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("load/uncompacted", func(b *testing.B) {
+		_, database, doc := e14Doc(b, chars)
+		defer database.Close()
+		b.ReportMetric(float64(doc.Snapshot().TotalLen()), "hot-instances")
+		load(b, database, doc)
+	})
+	b.Run("load/compacted", func(b *testing.B) {
+		eng, database, doc := e14Doc(b, chars)
+		defer database.Close()
+		stats, err := doc.Compact(eng.Clock().Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Archived != chars*9/10 {
+			b.Fatalf("archived %d, want %d", stats.Archived, chars*9/10)
+		}
+		b.ReportMetric(float64(doc.Snapshot().TotalLen()), "hot-instances")
+		load(b, database, doc)
+	})
+	// One full compaction pass over a freshly built 90%-deleted document.
+	b.Run("pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng, database, doc := e14Doc(b, chars)
+			probe := doc.TextAt(eng.Clock().Now())
+			b.StartTimer()
+			if _, err := doc.Compact(eng.Clock().Now()); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if doc.TextAt(eng.Clock().Now()) != probe {
+				b.Fatal("compaction changed the present text")
+			}
+			database.Close()
+			b.StartTimer()
+		}
+	})
+}

@@ -19,6 +19,6 @@
 // read path, §5) and EXPERIMENTS.md for the reproduction of every figure
 // and demonstrated capability. bench_test.go, groupcommit_bench_test.go,
 // checkpoint_bench_test.go and snapshot_bench_test.go in this directory
-// hold one benchmark per experiment (E1–E13); cmd/tendax-bench prints the
+// hold one benchmark per experiment (E1–E14); cmd/tendax-bench prints the
 // corresponding tables.
 package tendax

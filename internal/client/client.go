@@ -315,7 +315,7 @@ func (d *Doc) apply(ev *protocol.Event) {
 		d.resyncing = true
 		d.mu.Unlock()
 		go func() {
-			d.Resync()
+			_ = d.Resync() // a failed resync surfaces on the next read/edit
 			d.mu.Lock()
 			d.resyncing = false
 			d.mu.Unlock()

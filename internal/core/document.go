@@ -106,6 +106,11 @@ func (d *Document) load() error {
 	if err != nil {
 		return fmt.Errorf("core: document %v: %w", d.id, err)
 	}
+	arch, err := d.loadArchive()
+	if err != nil {
+		return fmt.Errorf("core: document %v: %w", d.id, err)
+	}
+	buf.SetArchive(arch)
 	d.buf = buf
 	d.snap.Store(&published{tree: buf.Snapshot(), seq: d.eng.bus.Seq(d.id)})
 	for _, a := range buf.Authors() {
@@ -164,10 +169,12 @@ func (d *Document) Info() DocInfo {
 // consistent, built without ever holding the document lock, and unaffected
 // by concurrent editing after the call.
 func (d *Document) Buffer() (*texttree.Buffer, error) {
-	buf, err := texttree.Load(d.snap.Load().tree.AllChars())
+	tree := d.snap.Load().tree
+	buf, err := texttree.Load(tree.AllChars())
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot of document %v: %w", d.id, err)
 	}
+	buf.SetArchive(tree.Archive())
 	return buf, nil
 }
 
@@ -405,6 +412,7 @@ func (d *Document) DeleteRangeAsync(user string, pos, n int) (util.ID, wal.LSN, 
 			upd.Deleted = true
 			upd.DeletedBy = user
 			upd.DeletedAt = now
+			upd.Restored = time.Time{} // a re-delete opens a fresh interval
 			if err := d.eng.tChars.UpdateByPK(tx, int64(id), d.rowFromChar(&upd)); err != nil {
 				return err
 			}
@@ -529,6 +537,7 @@ type CharMeta struct {
 	Deleted    bool
 	DeletedBy  string
 	DeletedAt  time.Time
+	Restored   time.Time
 	SourceDoc  util.ID
 	SourceChar util.ID
 }
@@ -549,7 +558,7 @@ func charMetaOf(ch *texttree.Char) CharMeta {
 	return CharMeta{
 		ID: ch.ID, Rune: ch.Rune, Author: ch.Author, Created: ch.Created,
 		Deleted: ch.Deleted, DeletedBy: ch.DeletedBy, DeletedAt: ch.DeletedAt,
-		SourceDoc: ch.SourceDoc, SourceChar: ch.SourceChar,
+		Restored: ch.Restored, SourceDoc: ch.SourceDoc, SourceChar: ch.SourceChar,
 	}
 }
 
@@ -559,6 +568,7 @@ func (d *Document) rowFromChar(ch *texttree.Char) db.Row {
 		int64(ch.ID), int64(d.id), int64(ch.Rune), ch.Author, ch.Created,
 		int64(ch.Prev), int64(ch.Next), ch.Deleted, ch.DeletedBy,
 		nonZeroTime(ch.DeletedAt), int64(ch.SourceDoc), int64(ch.SourceChar),
+		nonZeroTime(ch.Restored),
 	}
 }
 
@@ -575,6 +585,7 @@ func charFromRow(row db.Row) texttree.Char {
 		DeletedAt:  zeroableTime(row[9].(time.Time)),
 		SourceDoc:  util.ID(row[10].(int64)),
 		SourceChar: util.ID(row[11].(int64)),
+		Restored:   zeroableTime(row[12].(time.Time)),
 	}
 }
 

@@ -62,9 +62,16 @@ type Engine struct {
 	tVersions *db.Table
 	tReads    *db.Table
 	tProps    *db.Table
+	tArchive  *db.Table
 
 	mu   sync.Mutex
 	docs map[util.ID]*Document
+
+	// Background tombstone compactor (StartCompactor / StopCompactor).
+	compactMu   sync.Mutex
+	compactErr  error
+	compactStop chan struct{}
+	compactDone chan struct{}
 }
 
 var (
@@ -92,6 +99,18 @@ var (
 		{Name: "delat", Type: db.TTime},
 		{Name: "srcdoc", Type: db.TInt},
 		{Name: "srcchar", Type: db.TInt},
+		{Name: "restored", Type: db.TTime}, // undelete instant (zero = never undeleted)
+	}
+	// Cold tombstones migrated out of the chars table by compaction live
+	// here as archive runs: binary-encoded character records packed into
+	// fixed-size chunk rows, keyed by the run's surviving hot anchor
+	// (NilID for runs at the head of the chain) and ordered by seq.
+	archiveSchema = db.Schema{
+		{Name: "id", Type: db.TInt},
+		{Name: "doc", Type: db.TInt},
+		{Name: "anchor", Type: db.TInt},
+		{Name: "seq", Type: db.TInt},
+		{Name: "chars", Type: db.TBytes},
 	}
 	spansSchema = db.Schema{
 		{Name: "id", Type: db.TInt},
@@ -180,8 +199,18 @@ func NewEngine(database *db.Database, clock util.Clock) (*Engine, error) {
 	if e.tProps, err = database.CreateTable("props", propsSchema, "doc"); err != nil {
 		return nil, err
 	}
+	if e.tArchive, err = database.CreateTable("archive", archiveSchema, "doc", "anchor"); err != nil {
+		return nil, err
+	}
+	// CreateTable returns an existing table with its persisted schema, so
+	// a data directory written before the restored column existed would
+	// otherwise surface as an index-out-of-range panic on the first row
+	// decode. There is no in-place migration yet; fail loudly instead.
+	if e.tChars.Schema().Col("restored") < 0 {
+		return nil, errors.New("core: chars table predates the restored column; this data directory needs a migration this build does not provide")
+	}
 	// Seed the ID generator above every persisted primary key.
-	for _, t := range []*db.Table{e.tDocs, e.tChars, e.tSpans, e.tOps, e.tOpChunks, e.tVersions, e.tReads, e.tProps} {
+	for _, t := range []*db.Table{e.tDocs, e.tChars, e.tSpans, e.tOps, e.tOpChunks, e.tVersions, e.tReads, e.tProps, e.tArchive} {
 		e.ids.Seed(util.ID(t.MaxPK()))
 	}
 	return e, nil

@@ -2,10 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"tendax/internal/awareness"
 	"tendax/internal/db"
+	"tendax/internal/texttree"
 	"tendax/internal/txn"
 	"tendax/internal/util"
 )
@@ -391,49 +393,124 @@ func (d *Document) reapplyPlan(op *opRecord, ids []util.ID, user string, now tim
 
 // visibilityPlan makes the given characters visible or hidden. Characters
 // already in the desired state (e.g. re-deleted by another user since) are
-// skipped — selective undo over tombstones commutes per character.
+// skipped — selective undo over tombstones commutes per character. An
+// undelete of a character whose tombstone was archived by compaction first
+// rehydrates it: the instance re-enters the chars table and the hot chain
+// at its anchor, its run splits around it, and only then does visibility
+// flip — all inside the one undo transaction.
 func (d *Document) visibilityPlan(ids []util.ID, visible bool, user string, now time.Time) (*undoPlan, error) {
-	var affected []util.ID
+	var affected []util.ID // hot instances whose visibility flips
+	var archived []util.ID // archived tombstones to rehydrate, then flip
+	arch := d.buf.Archive()
 	for _, id := range ids {
-		ch, ok := d.buf.Char(id)
-		if !ok {
+		if ch, ok := d.buf.Char(id); ok {
+			if ch.Deleted == !visible {
+				continue // already in desired state
+			}
+			affected = append(affected, id)
 			continue
 		}
-		if ch.Deleted == !visible {
-			continue // already in desired state
+		if arch.Contains(id) {
+			// Archived instances are tombstones by construction: only an
+			// undelete needs them back; a re-hide finds them hidden already.
+			if visible {
+				archived = append(archived, id)
+			}
+			continue
 		}
-		affected = append(affected, id)
+		// Unknown everywhere: dropped by an external cleanup; skip.
 	}
-	delta := len(affected)
+	var rplan *texttree.RehydratePlan
+	if len(archived) > 0 {
+		var err error
+		if rplan, err = d.buf.PlanRehydrate(archived); err != nil {
+			return nil, err
+		}
+	}
+
+	// flip returns ch with its visibility switched, recording (or ending)
+	// the deletion interval so time travel still sees the gap.
+	flip := func(ch texttree.Char) texttree.Char {
+		if visible {
+			ch.Deleted = false
+			ch.Restored = now
+		} else {
+			ch.Deleted = true
+			ch.DeletedBy = user
+			ch.DeletedAt = now
+			ch.Restored = time.Time{}
+		}
+		return ch
+	}
+
+	delta := len(affected) + len(archived)
 	if !visible {
 		delta = -delta
 	}
+	all := append(append([]util.ID(nil), affected...), archived...)
 	return &undoPlan{
 		sizeDelta: delta,
-		affected:  affected,
+		affected:  all,
 		persist: func(tx *txn.Txn) error {
-			for _, id := range affected {
-				ch, _ := d.buf.Char(id)
-				upd := *ch
-				if visible {
-					upd.Deleted = false
-					upd.DeletedBy = ""
-					upd.DeletedAt = time.Time{}
-				} else {
-					upd.Deleted = true
-					upd.DeletedBy = user
-					upd.DeletedAt = now
+			// Final row state per instance: link rewrites from rehydration
+			// first, then visibility flips, so an instance touched by both
+			// is written once with both effects.
+			final := make(map[util.ID]texttree.Char)
+			inserted := make(map[util.ID]bool)
+			if rplan != nil {
+				for _, step := range rplan.Steps {
+					final[step.Ch.ID] = flip(step.Ch)
+					inserted[step.Ch.ID] = true
 				}
-				if err := d.eng.tChars.UpdateByPK(tx, int64(id), d.rowFromChar(&upd)); err != nil {
+				for id, upd := range rplan.LinkUpdates {
+					final[id] = *upd
+				}
+			}
+			for _, id := range affected {
+				ch, ok := final[id]
+				if !ok {
+					c, _ := d.buf.Char(id)
+					ch = *c
+				}
+				final[id] = flip(ch)
+			}
+			for id, ch := range final {
+				row := d.rowFromChar(&ch)
+				if inserted[id] {
+					if _, err := d.eng.tChars.Insert(tx, row); err != nil {
+						return err
+					}
+				} else if err := d.eng.tChars.UpdateByPK(tx, int64(id), row); err != nil {
 					return err
+				}
+			}
+			if rplan != nil {
+				for anchor, run := range rplan.RunUpdates {
+					if err := d.deleteArchiveRows(tx, anchor); err != nil {
+						return err
+					}
+					if len(run) > 0 {
+						if err := d.insertArchiveRows(tx, anchor, run); err != nil {
+							return err
+						}
+					}
 				}
 			}
 			return nil
 		},
 		apply: func() {
-			for _, id := range affected {
+			if rplan != nil {
+				if err := d.buf.ApplyRehydrate(rplan); err != nil {
+					// The transaction already committed the rehydrated
+					// rows; a failure here means the plan went stale under
+					// the document lock, which cannot happen. Surface it
+					// loudly rather than diverge silently.
+					panic(fmt.Sprintf("core: rehydrate after commit: %v", err))
+				}
+			}
+			for _, id := range all {
 				if visible {
-					d.buf.Undelete(id)
+					d.buf.Undelete(id, now)
 				} else {
 					d.buf.Delete(id, user, now)
 				}

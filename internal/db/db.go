@@ -105,7 +105,7 @@ func Open(opts Options) (*Database, error) {
 		}
 		store, err = wal.OpenFileStore(filepath.Join(opts.Dir, "wal.log"))
 		if err != nil {
-			disk.Close()
+			_ = disk.Close()
 			return nil, err
 		}
 	}
@@ -303,7 +303,7 @@ func (d *Database) CreateTable(name string, schema Schema, indexCols ...string) 
 	}
 	_, err = d.catalog.Insert(tx, Row{int64(id), name, EncodeSchema(schema), strings.Join(indexCols, ",")})
 	if err != nil {
-		tx.Abort()
+		_ = tx.Abort()
 		return nil, err
 	}
 	if err := tx.Commit(); err != nil {

@@ -42,7 +42,7 @@ func (e *Editor) MoveTo(pos int) {
 	}
 	e.cursor = pos
 	e.sel = -1
-	e.doc.MoveCursor(pos)
+	_ = e.doc.MoveCursor(pos) // best-effort presence hint; edits surface real errors
 }
 
 // Type inserts text at the cursor and advances it.

@@ -152,7 +152,7 @@ func (c *conn) close() {
 			c.srv.eng.Bus().Leave(doc, user, c.srv.eng.Clock().Now())
 		}
 	}
-	c.codec.Close()
+	_ = c.codec.Close()
 	c.srv.dropConn(c)
 }
 

@@ -45,11 +45,11 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
 	if st.Size()%PageSize != 0 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: %s has torn size %d", path, st.Size())
 	}
 	return &FileDisk{f: f, pages: uint64(st.Size()) / PageSize}, nil

@@ -1,0 +1,716 @@
+package texttree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tendax/internal/util"
+)
+
+// This file implements the cold-tombstone archive: the compaction side of
+// logical deletion. TeNDaX never forgets a character instance, so a
+// long-lived document's hot structures (the chain, the order treap, the
+// persistent snapshot mirror) are eventually dominated by dead text.
+// Compaction migrates "cold" tombstones — instances deleted before a
+// configurable horizon — out of the hot chain into archive runs, shrinking
+// every hot structure to O(visible + warm) while keeping provenance fully
+// queryable: time travel transparently merges the archive back in when the
+// requested instant predates the horizon.
+//
+// An archive run is a maximal sequence of consecutively-chained archived
+// instances, keyed by its anchor: the hot instance immediately preceding
+// the run in the chain (NilID for a run at the head of the document). The
+// merged chain order is therefore: anchor, then its run, then the anchor's
+// hot successor. Anchors can themselves go cold in a later pass; their run
+// is then spliced into the new run at the position the chain dictates, so
+// the merged order is stable across any number of passes.
+//
+// Correctness of merge-on-read ordering: a hot instance inserted after an
+// anchor post-archival lands between the anchor and its run in the merged
+// walk even though the true chain had it before the run. This is
+// unobservable: the archived instances were deleted before the pass
+// horizon h, the interloper was created at or after the pass (>= h), and
+// no instant t satisfies both t < h (archived char visible) and t >= h
+// (interloper visible). DESIGN.md §6 gives the full argument.
+
+// Archive is the immutable cold-tombstone store of one buffer. Like the
+// persistent treap it is copy-on-write: compaction and rehydration build a
+// new Archive and republish, so any snapshot already holding the old one
+// keeps a frozen, internally consistent view.
+type Archive struct {
+	runs  map[util.ID][]*Char // anchor -> archived instances in chain order
+	index map[util.ID]util.ID // archived char id -> its run's anchor
+	count int
+	// newest is the latest DeletedAt of any archived instance: for
+	// t >= newest no archived instance is visible, so reads at or after it
+	// skip the merge entirely (the common case: the present).
+	newest time.Time
+}
+
+var emptyArchive = &Archive{}
+
+// NewArchive builds an archive from decoded runs (database load). The
+// slices are retained; callers must not mutate them afterwards.
+func NewArchive(runs map[util.ID][]*Char) *Archive {
+	if len(runs) == 0 {
+		return emptyArchive
+	}
+	a := &Archive{runs: runs, index: make(map[util.ID]util.ID)}
+	for anchor, run := range runs {
+		for _, ch := range run {
+			a.index[ch.ID] = anchor
+			a.count++
+			if ch.DeletedAt.After(a.newest) {
+				a.newest = ch.DeletedAt
+			}
+		}
+	}
+	return a
+}
+
+// Len returns the number of archived instances.
+func (a *Archive) Len() int {
+	if a == nil {
+		return 0
+	}
+	return a.count
+}
+
+// Char returns the frozen record of an archived instance.
+func (a *Archive) Char(id util.ID) (*Char, bool) {
+	if a == nil || a.index == nil {
+		return nil, false
+	}
+	anchor, ok := a.index[id]
+	if !ok {
+		return nil, false
+	}
+	for _, ch := range a.runs[anchor] {
+		if ch.ID == id {
+			return ch, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether id is archived.
+func (a *Archive) Contains(id util.ID) bool {
+	if a == nil || a.index == nil {
+		return false
+	}
+	_, ok := a.index[id]
+	return ok
+}
+
+// AnchorOf returns the anchor of the run holding the archived id.
+func (a *Archive) AnchorOf(id util.ID) (util.ID, bool) {
+	if a == nil || a.index == nil {
+		return util.NilID, false
+	}
+	anchor, ok := a.index[id]
+	return anchor, ok
+}
+
+// Run returns the archived instances anchored at anchor, in chain order.
+func (a *Archive) Run(anchor util.ID) []*Char {
+	if a == nil {
+		return nil
+	}
+	return a.runs[anchor]
+}
+
+// Anchors returns every anchor with a non-empty run (unordered).
+func (a *Archive) Anchors() []util.ID {
+	if a == nil {
+		return nil
+	}
+	out := make([]util.ID, 0, len(a.runs))
+	for anchor := range a.runs {
+		out = append(out, anchor)
+	}
+	return out
+}
+
+// visibleAt reports whether any archived instance can be visible at t:
+// false for any t at or after the newest archived deletion, which is the
+// fast path that keeps present-time reads purely hot.
+func (a *Archive) visibleAt(t time.Time) bool {
+	return a != nil && a.count > 0 && t.Before(a.newest)
+}
+
+// clone returns a mutable shallow copy of the archive's maps; run slices
+// are still shared and must be replaced, never appended to in place.
+// Callers reach archives through Buffer.Archive()/Snapshot.Archive(), so
+// the receiver is never nil.
+func (a *Archive) clone() *Archive {
+	c := &Archive{
+		runs:   make(map[util.ID][]*Char, len(a.runs)+8),
+		index:  make(map[util.ID]util.ID, len(a.index)+8),
+		count:  a.count,
+		newest: a.newest,
+	}
+	for k, v := range a.runs {
+		c.runs[k] = v
+	}
+	for k, v := range a.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// CheckInvariants verifies the archive's internal consistency.
+func (a *Archive) CheckInvariants() error {
+	if a == nil {
+		return nil
+	}
+	n := 0
+	for anchor, run := range a.runs {
+		if len(run) == 0 {
+			return fmt.Errorf("texttree: archive has empty run at anchor %v", anchor)
+		}
+		for _, ch := range run {
+			if ch == nil {
+				return fmt.Errorf("texttree: archive run at %v holds nil char", anchor)
+			}
+			if !ch.Deleted {
+				return fmt.Errorf("texttree: archived char %v is not a tombstone", ch.ID)
+			}
+			if got, ok := a.index[ch.ID]; !ok || got != anchor {
+				return fmt.Errorf("texttree: archive index of %v is %v, want %v", ch.ID, got, anchor)
+			}
+			if ch.DeletedAt.After(a.newest) {
+				return fmt.Errorf("texttree: archive newest %v predates %v of %v", a.newest, ch.DeletedAt, ch.ID)
+			}
+			n++
+		}
+	}
+	if n != a.count {
+		return fmt.Errorf("texttree: archive count %d, runs hold %d", a.count, n)
+	}
+	if len(a.index) != n {
+		return fmt.Errorf("texttree: archive index has %d entries for %d chars", len(a.index), n)
+	}
+	return nil
+}
+
+// Archive returns the buffer's current cold-tombstone archive (never nil).
+func (b *Buffer) Archive() *Archive {
+	if b.arch == nil {
+		return emptyArchive
+	}
+	return b.arch
+}
+
+// SetArchive installs the archive at load time (before any snapshot has
+// been taken). Compaction and rehydration replace it through their plans.
+func (b *Buffer) SetArchive(a *Archive) {
+	if a == nil {
+		a = emptyArchive
+	}
+	b.arch = a
+}
+
+// ArchivedLen returns the number of archived (cold) instances.
+func (b *Buffer) ArchivedLen() int { return b.Archive().Len() }
+
+// ColdRun is one maximal run of consecutively-chained cold tombstones, as
+// found by PlanCompaction. Chars are frozen copies in chain order; Succ is
+// the hot chain successor of the run's last member (NilID at chain end).
+type ColdRun struct {
+	Anchor util.ID
+	Chars  []*Char
+	Succ   util.ID
+}
+
+// CompactionPlan captures everything one compaction pass will do, computed
+// against the current buffer state so the caller can persist the exact
+// post-state inside a transaction before applying it in memory.
+type CompactionPlan struct {
+	Horizon time.Time
+	Runs    []ColdRun
+	// MergedRuns is the full post-pass content of every archive run the
+	// pass rewrites, keyed by surviving anchor. Anchors whose runs are
+	// absorbed into a surviving run appear in RemovedAnchors instead.
+	MergedRuns     map[util.ID][]*Char
+	RemovedAnchors []util.ID
+	// LinkUpdates holds the post-pass record of every surviving hot
+	// instance whose neighbour links the pass rewrites.
+	LinkUpdates map[util.ID]*Char
+	// NewHead is the chain head after the pass.
+	NewHead util.ID
+
+	arch *Archive // the archive to publish on apply
+}
+
+// Cold reports whether ch is a cold tombstone under horizon: deleted, and
+// deleted strictly before the horizon. (Created < DeletedAt always, so a
+// cold instance is also created before the horizon.)
+func cold(ch *Char, horizon time.Time) bool {
+	return ch.Deleted && ch.DeletedAt.Before(horizon)
+}
+
+// PlanCompaction finds every maximal cold run under horizon and builds the
+// pass's full effect: merged archive runs, hot link rewrites and the new
+// head. It does not mutate the buffer; returns nil if nothing is cold.
+// Callers must serialise with writers (core runs it under the document
+// lock) and must not use the plan after further buffer mutation.
+func (b *Buffer) PlanCompaction(horizon time.Time) *CompactionPlan {
+	var runs []ColdRun
+	var cur *ColdRun
+	prevHot := util.NilID
+	b.order.Walk(func(id util.ID, _ bool) bool {
+		ch := b.chars[id]
+		if cold(ch, horizon) {
+			if cur == nil {
+				cur = &ColdRun{Anchor: prevHot}
+			}
+			cur.Chars = append(cur.Chars, ch)
+			return true
+		}
+		if cur != nil {
+			cur.Succ = id
+			runs = append(runs, *cur)
+			cur = nil
+		}
+		prevHot = id
+		return true
+	})
+	if cur != nil {
+		cur.Succ = util.NilID
+		runs = append(runs, *cur)
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+
+	plan := &CompactionPlan{
+		Horizon:     horizon,
+		Runs:        runs,
+		MergedRuns:  make(map[util.ID][]*Char, len(runs)),
+		LinkUpdates: make(map[util.ID]*Char),
+		NewHead:     b.head,
+	}
+	arch := b.Archive().clone()
+	for _, run := range runs {
+		// Merge: existing run at the surviving anchor, then each member
+		// followed by the run it anchored (chain order; see the ordering
+		// argument at the top of the file).
+		merged := append([]*Char(nil), arch.runs[run.Anchor]...)
+		for _, ch := range run.Chars {
+			cc := *ch
+			merged = append(merged, &cc)
+			if sub := arch.runs[ch.ID]; len(sub) > 0 {
+				merged = append(merged, sub...)
+				delete(arch.runs, ch.ID)
+				plan.RemovedAnchors = append(plan.RemovedAnchors, ch.ID)
+			}
+		}
+		arch.runs[run.Anchor] = merged
+		for _, ch := range merged {
+			arch.index[ch.ID] = run.Anchor
+			if ch.DeletedAt.After(arch.newest) {
+				arch.newest = ch.DeletedAt
+			}
+		}
+		arch.count += len(run.Chars)
+		plan.MergedRuns[run.Anchor] = merged
+
+		// Hot link rewrites: the run's hot predecessor now points at the
+		// run's hot successor and vice versa. A later run may rewrite the
+		// same record again (e.g. a hot island between two runs); starting
+		// from the latest planned copy keeps the rewrites cumulative.
+		latest := func(id util.ID) Char {
+			if upd, ok := plan.LinkUpdates[id]; ok {
+				return *upd
+			}
+			return *b.chars[id]
+		}
+		if run.Anchor.IsNil() {
+			plan.NewHead = run.Succ
+		} else {
+			np := latest(run.Anchor)
+			np.Next = run.Succ
+			plan.LinkUpdates[run.Anchor] = &np
+		}
+		if !run.Succ.IsNil() {
+			ns := latest(run.Succ)
+			ns.Prev = run.Anchor
+			plan.LinkUpdates[run.Succ] = &ns
+		}
+	}
+	plan.arch = arch
+	return plan
+}
+
+// ApplyCompaction applies a plan computed by PlanCompaction against the
+// unchanged buffer state: cold instances leave the chain, the order treap
+// and the persistent mirror (by per-rank path-copying deletes, so existing
+// snapshots are untouched), surviving neighbours are re-linked
+// copy-on-write, and the new archive is published.
+func (b *Buffer) ApplyCompaction(plan *CompactionPlan) {
+	for _, run := range plan.Runs {
+		// A cold run is contiguous in the chain, hence contiguous in total
+		// rank order: the whole run leaves the persistent mirror with two
+		// splits and one merge (O(log n) copied nodes per run) instead of
+		// one path-copying delete per instance.
+		r0, ok := b.order.TotalRank(run.Chars[0].ID)
+		if !ok {
+			panic(fmt.Sprintf("texttree: compaction plan is stale: %v not in order", run.Chars[0].ID))
+		}
+		left, rest := psplit(b.proot, r0)
+		mid, right := psplit(rest, len(run.Chars))
+		if mid.sizeOf() != len(run.Chars) {
+			panic(fmt.Sprintf("texttree: compaction plan is stale: run of %d at rank %d has %d nodes",
+				len(run.Chars), r0, mid.sizeOf()))
+		}
+		b.proot = pmerge(left, right)
+		for _, ch := range run.Chars {
+			b.order.Remove(ch.ID)
+			delete(b.chars, ch.ID)
+		}
+	}
+	for id, upd := range plan.LinkUpdates {
+		cc := *upd
+		b.chars[id] = &cc
+		r, _ := b.order.TotalRank(id)
+		b.proot = pset(b.proot, r, &cc, b.order.Visible(id))
+	}
+	b.head = plan.NewHead
+	b.arch = plan.arch
+	b.version++
+}
+
+// Compact plans and applies one compaction pass in a single step,
+// returning the number of instances archived (embedded use and tests;
+// core persists the plan transactionally between the two halves).
+func (b *Buffer) Compact(horizon time.Time) int {
+	plan := b.PlanCompaction(horizon)
+	if plan == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range plan.Runs {
+		n += len(r.Chars)
+	}
+	b.ApplyCompaction(plan)
+	return n
+}
+
+// RehydrateStep is one re-insertion of PlanRehydrate: ch (still a
+// tombstone, links already final) chained immediately after Prev.
+type RehydrateStep struct {
+	Prev util.ID
+	Ch   Char
+}
+
+// RehydratePlan captures the re-insertion of archived instances back into
+// the hot chain (undo of an archived delete must make the instance live
+// again before it can be undeleted).
+type RehydratePlan struct {
+	Steps []RehydrateStep
+	// LinkUpdates holds the final record of every pre-existing hot
+	// instance whose links change (rehydrated chars carry their own final
+	// links in Steps).
+	LinkUpdates map[util.ID]*Char
+	// RunUpdates is the final content of every archive run the plan
+	// touches; an empty slice means the run disappears.
+	RunUpdates map[util.ID][]*Char
+
+	arch *Archive
+}
+
+// PlanRehydrate plans moving the given archived instances back into the
+// hot chain. Each instance is chained immediately after its run's anchor;
+// the part of the run before it stays anchored where it was, the part
+// after it is re-anchored at the instance itself, so the merged chain
+// order is unchanged. IDs not present in the archive are ignored; the
+// plan is nil if none are archived.
+func (b *Buffer) PlanRehydrate(ids []util.ID) (*RehydratePlan, error) {
+	arch := b.Archive()
+	var want []util.ID
+	for _, id := range ids {
+		if arch.Contains(id) {
+			want = append(want, id)
+		}
+	}
+	if len(want) == 0 {
+		return nil, nil
+	}
+	work := arch.clone()
+	plan := &RehydratePlan{
+		LinkUpdates: make(map[util.ID]*Char),
+		RunUpdates:  make(map[util.ID][]*Char),
+	}
+	// latest returns the current planned record of a hot instance: a
+	// previously rehydrated char, a planned link update, or the live one.
+	latest := func(id util.ID) (*Char, error) {
+		for i := range plan.Steps {
+			if plan.Steps[i].Ch.ID == id {
+				return &plan.Steps[i].Ch, nil
+			}
+		}
+		if upd, ok := plan.LinkUpdates[id]; ok {
+			return upd, nil
+		}
+		if ch, ok := b.chars[id]; ok {
+			cc := *ch
+			return &cc, nil
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnknownChar, id)
+	}
+	setHot := func(ch *Char) {
+		for i := range plan.Steps {
+			if plan.Steps[i].Ch.ID == ch.ID {
+				plan.Steps[i].Ch = *ch
+				return
+			}
+		}
+		plan.LinkUpdates[ch.ID] = ch
+	}
+	head := b.head
+	for _, id := range want {
+		anchor, ok := work.index[id]
+		if !ok {
+			return nil, fmt.Errorf("texttree: rehydrate %v: not archived", id)
+		}
+		run := work.runs[anchor]
+		i := 0
+		for i < len(run) && run[i].ID != id {
+			i++
+		}
+		if i == len(run) {
+			return nil, fmt.Errorf("texttree: archive index of %v is torn", id)
+		}
+		ch := *run[i]
+
+		// Split the run around the rehydrated instance.
+		before := append([]*Char(nil), run[:i]...)
+		after := append([]*Char(nil), run[i+1:]...)
+		if len(before) == 0 {
+			delete(work.runs, anchor)
+			plan.RunUpdates[anchor] = nil
+		} else {
+			work.runs[anchor] = before
+			plan.RunUpdates[anchor] = before
+		}
+		if len(after) > 0 {
+			work.runs[ch.ID] = after
+			plan.RunUpdates[ch.ID] = after
+			for _, sub := range after {
+				work.index[sub.ID] = ch.ID
+			}
+		}
+		delete(work.index, id)
+		work.count--
+
+		// Chain the instance immediately after its anchor.
+		var succ util.ID
+		if anchor.IsNil() {
+			succ = head
+			head = ch.ID
+		} else {
+			p, err := latest(anchor)
+			if err != nil {
+				return nil, err
+			}
+			succ = p.Next
+			p.Next = ch.ID
+			setHot(p)
+		}
+		ch.Prev = anchor
+		ch.Next = succ
+		if !succ.IsNil() {
+			s, err := latest(succ)
+			if err != nil {
+				return nil, err
+			}
+			s.Prev = ch.ID
+			setHot(s)
+		}
+		plan.Steps = append(plan.Steps, RehydrateStep{Prev: anchor, Ch: ch})
+	}
+	if work.count == 0 {
+		plan.arch = emptyArchive
+	} else {
+		plan.arch = work
+	}
+	return plan, nil
+}
+
+// ApplyRehydrate applies a plan computed by PlanRehydrate against the
+// unchanged buffer state: each instance re-enters the chain, order and
+// persistent mirror as a tombstone, and the shrunken archive is published.
+func (b *Buffer) ApplyRehydrate(plan *RehydratePlan) error {
+	if plan == nil {
+		return nil
+	}
+	for _, step := range plan.Steps {
+		ch := step.Ch
+		ch.Prev, ch.Next = util.NilID, util.NilID // InsertAfter re-derives links
+		if _, err := b.InsertAfter(step.Prev, ch); err != nil {
+			return fmt.Errorf("texttree: rehydrate %v: %w", step.Ch.ID, err)
+		}
+	}
+	b.arch = plan.arch
+	b.version++
+	return nil
+}
+
+// WalkAll visits every character instance — hot and archived — in merged
+// chain order until fn returns false. Archived instances are emitted
+// directly after their run's anchor. This is the full-history walk behind
+// time travel across the compaction horizon.
+func (s *Snapshot) WalkAll(fn func(ch *Char, archived bool) bool) {
+	walkMerged(s.arch, s.root, fn)
+}
+
+func walkMerged(arch *Archive, root *pnode, fn func(ch *Char, archived bool) bool) {
+	emit := func(anchor util.ID) bool {
+		for _, ch := range arch.Run(anchor) {
+			if !fn(ch, true) {
+				return false
+			}
+		}
+		return true
+	}
+	if !emit(util.NilID) {
+		return
+	}
+	pwalk(root, func(n *pnode) bool {
+		if !fn(n.ch, false) {
+			return false
+		}
+		return emit(n.id)
+	})
+}
+
+// hiddenAt reports whether ch is not part of the document text at t:
+// not yet created, currently tombstoned at or before t, or inside its
+// recorded deletion interval [DeletedAt, Restored) (an undeleted char
+// keeps the interval so time travel still sees the gap).
+func hiddenAt(ch *Char, t time.Time) bool {
+	if ch.Created.After(t) {
+		return true
+	}
+	if ch.Deleted {
+		return !ch.DeletedAt.After(t)
+	}
+	if !ch.DeletedAt.IsZero() && !ch.DeletedAt.After(t) && ch.Restored.After(t) {
+		return true
+	}
+	return false
+}
+
+// The archive row codec: archived instances persist as length-prefixed
+// binary records packed into fixed-size chunk rows (core spills them like
+// op chunks). The codec lives here so texttree tests and the db layer
+// share one format.
+
+// ErrArchiveCodec reports a corrupt archived-character encoding.
+var ErrArchiveCodec = errors.New("texttree: corrupt archive record")
+
+// EncodeArchived appends the binary encoding of ch to buf.
+func EncodeArchived(buf []byte, ch *Char) []byte {
+	var tmp [8]byte
+	putU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	putStr := func(s string) {
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(s)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, s...)
+	}
+	putTime := func(t time.Time) {
+		if t.IsZero() {
+			putU64(0)
+			return
+		}
+		putU64(uint64(t.UnixNano()))
+	}
+	putU64(uint64(ch.ID))
+	putU64(uint64(uint32(ch.Rune)))
+	putStr(ch.Author)
+	putTime(ch.Created)
+	putStr(ch.DeletedBy)
+	putTime(ch.DeletedAt)
+	putTime(ch.Restored)
+	putU64(uint64(ch.SourceDoc))
+	putU64(uint64(ch.SourceChar))
+	return buf
+}
+
+// DecodeArchived parses one archived record from b, returning the char and
+// the remaining bytes. Chain links are not stored: an archived instance's
+// place is defined by its run, and rehydration re-derives hot links.
+func DecodeArchived(b []byte) (Char, []byte, error) {
+	var ch Char
+	u64 := func() (uint64, bool) {
+		if len(b) < 8 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		return v, true
+	}
+	str := func() (string, bool) {
+		if len(b) < 4 {
+			return "", false
+		}
+		n := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return "", false
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, true
+	}
+	tm := func() (time.Time, bool) {
+		v, ok := u64()
+		if !ok {
+			return time.Time{}, false
+		}
+		if v == 0 {
+			return time.Time{}, true
+		}
+		return time.Unix(0, int64(v)).UTC(), true
+	}
+	var ok bool
+	var v uint64
+	if v, ok = u64(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	ch.ID = util.ID(v)
+	if v, ok = u64(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	ch.Rune = rune(uint32(v))
+	if ch.Author, ok = str(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	if ch.Created, ok = tm(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	if ch.DeletedBy, ok = str(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	if ch.DeletedAt, ok = tm(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	if ch.Restored, ok = tm(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	if v, ok = u64(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	ch.SourceDoc = util.ID(v)
+	if v, ok = u64(); !ok {
+		return Char{}, nil, ErrArchiveCodec
+	}
+	ch.SourceChar = util.ID(v)
+	ch.Deleted = true
+	return ch, b, nil
+}

@@ -25,6 +25,11 @@ type Char struct {
 	Deleted   bool
 	DeletedBy string
 	DeletedAt time.Time
+	// Restored is set when a tombstone is undeleted: the pair
+	// [DeletedAt, Restored) records the (most recent) interval during
+	// which the character was invisible, so time travel inside the
+	// interval still sees the deletion. Zero on never-undeleted chars.
+	Restored time.Time
 
 	// Copy-paste provenance: where this instance was copied from.
 	SourceDoc  util.ID
@@ -50,11 +55,16 @@ type Buffer struct {
 
 	proot   *pnode // persistent treap mirror (snapshot root)
 	version uint64 // increments on every mutation
+
+	// arch holds cold tombstones migrated out of the hot structures by
+	// compaction (see archive.go). Immutable: replaced wholesale, so
+	// published snapshots keep the version they captured.
+	arch *Archive
 }
 
 // NewBuffer returns an empty buffer.
 func NewBuffer() *Buffer {
-	return &Buffer{order: NewOrder(), chars: make(map[util.ID]*Char)}
+	return &Buffer{order: NewOrder(), chars: make(map[util.ID]*Char), arch: emptyArchive}
 }
 
 // Version identifies the buffer's current state; it increments on every
@@ -228,6 +238,7 @@ func (b *Buffer) Delete(id util.ID, by string, at time.Time) error {
 	nc.Deleted = true
 	nc.DeletedBy = by
 	nc.DeletedAt = at
+	nc.Restored = time.Time{}
 	b.chars[id] = &nc
 	b.order.SetVisible(id, false)
 	r, _ := b.order.TotalRank(id)
@@ -236,8 +247,12 @@ func (b *Buffer) Delete(id util.ID, by string, at time.Time) error {
 	return nil
 }
 
-// Undelete makes a tombstoned character visible again (undo of a delete).
-func (b *Buffer) Undelete(id util.ID) error {
+// Undelete makes a tombstoned character visible again at instant at (undo
+// of a delete). The deletion metadata is kept, not zeroed: the recorded
+// interval [DeletedAt, at) is what lets TextAt inside the interval still
+// see the deletion — zeroing DeletedAt (as this method once did) made an
+// undeleted character look never-deleted to time travel.
+func (b *Buffer) Undelete(id util.ID, at time.Time) error {
 	ch, ok := b.chars[id]
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownChar, id)
@@ -247,8 +262,7 @@ func (b *Buffer) Undelete(id util.ID) error {
 	}
 	nc := *ch
 	nc.Deleted = false
-	nc.DeletedBy = ""
-	nc.DeletedAt = time.Time{}
+	nc.Restored = at
 	b.chars[id] = &nc
 	b.order.SetVisible(id, true)
 	r, _ := b.order.TotalRank(id)
@@ -324,27 +338,34 @@ func (b *Buffer) RangeIDs(pos, n int) []util.ID {
 }
 
 // TextAt reconstructs the document text as it was at instant t: characters
-// created at or before t and not yet deleted at t, in chain order. This is
-// the TeNDaX versioning primitive — tombstones make time travel a pure
-// filter over the stable chain.
+// created at or before t and not deleted at t, in chain order. This is the
+// TeNDaX versioning primitive — tombstones make time travel a pure filter
+// over the stable chain. When t predates the compaction horizon the walk
+// transparently merges the cold-tombstone archive back in; at or after the
+// newest archived deletion the filter runs over the hot structures alone.
 func (b *Buffer) TextAt(t time.Time) string {
 	var sb strings.Builder
+	if b.Archive().visibleAt(t) {
+		walkMerged(b.arch, b.proot, func(ch *Char, _ bool) bool {
+			if !hiddenAt(ch, t) {
+				sb.WriteRune(ch.Rune)
+			}
+			return true
+		})
+		return sb.String()
+	}
 	b.order.Walk(func(id util.ID, _ bool) bool {
-		ch := b.chars[id]
-		if ch.Created.After(t) {
-			return true
+		if ch := b.chars[id]; !hiddenAt(ch, t) {
+			sb.WriteRune(ch.Rune)
 		}
-		if ch.Deleted && !ch.DeletedAt.After(t) {
-			return true
-		}
-		sb.WriteRune(ch.Rune)
 		return true
 	})
 	return sb.String()
 }
 
-// AllChars returns a copy of every character instance, in chain order
-// (tombstones included): the persistent form of the document.
+// AllChars returns a copy of every hot character instance, in chain order
+// (warm tombstones included, archived instances excluded): the persistent
+// form of the document's hot set. The archive persists separately.
 func (b *Buffer) AllChars() []Char {
 	out := make([]Char, 0, b.TotalLen())
 	b.order.Walk(func(id util.ID, _ bool) bool {
@@ -373,6 +394,21 @@ func (b *Buffer) Authors() []string {
 // chain is a single path covering all chars, order matches the chain, and
 // visible counts agree. Used by tests and failure injection.
 func (b *Buffer) CheckInvariants() error {
+	if err := b.Archive().CheckInvariants(); err != nil {
+		return err
+	}
+	for id := range b.chars {
+		if b.Archive().Contains(id) {
+			return fmt.Errorf("texttree: %v is both hot and archived", id)
+		}
+	}
+	for _, anchor := range b.Archive().Anchors() {
+		if !anchor.IsNil() {
+			if _, ok := b.chars[anchor]; !ok {
+				return fmt.Errorf("texttree: archive run anchored at non-hot %v", anchor)
+			}
+		}
+	}
 	if len(b.chars) == 0 {
 		if b.order.Len() != 0 {
 			return errors.New("texttree: empty chars but non-empty order")

@@ -132,6 +132,36 @@ func (o *Order) InsertAfter(prev, id util.ID, visible bool) {
 	o.bubbleUp(n)
 }
 
+// Remove deletes id from the order entirely (tombstone compaction: the
+// instance moves to the archive and no longer occupies the hot index). The
+// node is rotated down to a leaf to preserve the heap property, detached,
+// and counts are fixed along the path. No-op for unknown ids.
+func (o *Order) Remove(id util.ID) {
+	n := o.nodes[id]
+	if n == nil {
+		return
+	}
+	// Rotate the smaller-priority child up until n is a leaf.
+	for n.left != nil || n.right != nil {
+		if n.right == nil || (n.left != nil && n.left.prio < n.right.prio) {
+			o.rotateRight(n)
+		} else {
+			o.rotateLeft(n)
+		}
+	}
+	p := n.parent
+	if p == nil {
+		o.root = nil
+	} else if p.left == n {
+		p.left = nil
+	} else {
+		p.right = nil
+	}
+	n.parent = nil
+	delete(o.nodes, id)
+	o.fixCountsUp(p)
+}
+
 // SetVisible flips the visibility of id, updating counts along the path.
 func (o *Order) SetVisible(id util.ID, visible bool) {
 	n := o.nodes[id]

@@ -177,17 +177,19 @@ type Snapshot struct {
 	root    *pnode
 	head    util.ID
 	version uint64
+	arch    *Archive // frozen cold-tombstone archive of this version
 
 	// Rank-by-ID queries need a root-to-node path the persistent treap
 	// cannot provide; the first such query materialises an index over the
 	// frozen tree, shared by all subsequent queries on this snapshot (and
 	// by every DocSnapshot wrapper of the same published version). The
-	// build walks all instances including tombstones — O(total history),
+	// build walks all hot instances including warm tombstones — O(hot),
 	// amortised to at most once per committed version and only paid when
-	// rank queries (span resolution) actually occur. On documents whose
-	// tombstones vastly outnumber visible text this is the price of
-	// logical deletion; bounding it needs tombstone compaction (roadmap),
-	// not a cleverer index.
+	// rank queries (span resolution) actually occur. Tombstone compaction
+	// (archive.go) is what keeps "hot" near the visible size on documents
+	// whose dead text would otherwise dominate: archived instances are
+	// not in this index — RankOf resolves them through their run's anchor
+	// instead, so span anchors keep resolving after compaction.
 	once  sync.Once
 	index map[util.ID]snapEntry
 }
@@ -204,7 +206,7 @@ type snapEntry struct {
 // taking the snapshot itself must be serialised with writers (callers in
 // core do it under the document lock, or atomically republish).
 func (b *Buffer) Snapshot() *Snapshot {
-	return &Snapshot{root: b.proot, head: b.head, version: b.version}
+	return &Snapshot{root: b.proot, head: b.head, version: b.version, arch: b.Archive()}
 }
 
 // Version identifies the buffer state this snapshot captured: it
@@ -251,20 +253,36 @@ func (s *Snapshot) Text() string {
 // TextAt reconstructs the text as it was at instant t (time travel):
 // characters created at or before t and not deleted at t, in chain order.
 // For t at or after the snapshot instant this equals Text() modulo edits
-// the snapshot never saw.
+// the snapshot never saw. When t predates the compaction horizon the walk
+// transparently merges the archived cold tombstones back in.
 func (s *Snapshot) TextAt(t time.Time) string {
 	var sb strings.Builder
+	if s.arch.visibleAt(t) {
+		s.WalkAll(func(ch *Char, _ bool) bool {
+			if !hiddenAt(ch, t) {
+				sb.WriteRune(ch.Rune)
+			}
+			return true
+		})
+		return sb.String()
+	}
 	s.Walk(func(ch *Char, _ bool) bool {
-		if ch.Created.After(t) {
-			return true
+		if !hiddenAt(ch, t) {
+			sb.WriteRune(ch.Rune)
 		}
-		if ch.Deleted && !ch.DeletedAt.After(t) {
-			return true
-		}
-		sb.WriteRune(ch.Rune)
 		return true
 	})
 	return sb.String()
+}
+
+// Archive returns the snapshot's frozen cold-tombstone archive (never
+// nil). Archived instances are excluded from Walk, TotalLen and AllChars;
+// WalkAll and TextAt merge them back in.
+func (s *Snapshot) Archive() *Archive {
+	if s.arch == nil {
+		return emptyArchive
+	}
+	return s.arch
 }
 
 // Slice returns up to n visible characters starting at pos.
@@ -366,33 +384,58 @@ func (s *Snapshot) buildIndex() {
 	})
 }
 
-// Char returns the frozen record of the instance with id.
+// Char returns the frozen record of the instance with id, hot or
+// archived.
 func (s *Snapshot) Char(id util.ID) (Char, bool) {
 	s.buildIndex()
-	e, ok := s.index[id]
-	if !ok {
-		return Char{}, false
+	if e, ok := s.index[id]; ok {
+		return *e.ch, true
 	}
-	return *e.ch, true
+	if ch, ok := s.Archive().Char(id); ok {
+		return *ch, true
+	}
+	return Char{}, false
 }
 
-// Contains reports whether id exists in this snapshot.
+// Contains reports whether id exists in this snapshot, in the hot
+// structures or the cold archive. Only instances the snapshot has never
+// seen (inserted after it was taken) are unknown.
 func (s *Snapshot) Contains(id util.ID) bool {
 	s.buildIndex()
-	_, ok := s.index[id]
-	return ok
+	if _, ok := s.index[id]; ok {
+		return true
+	}
+	return s.Archive().Contains(id)
 }
 
 // RankOf returns the number of visible characters strictly before id, for
-// any instance including tombstones. ok is false if id is unknown to this
-// snapshot (e.g. it was inserted after the snapshot was taken).
+// any instance including tombstones — archived ones too: no visible
+// character lives inside an archive run, so an archived tombstone's text
+// resumes directly after its run's anchor (span anchors must keep
+// resolving identically when compaction moves them to the archive). ok is
+// false if id is unknown to this snapshot (e.g. it was inserted after the
+// snapshot was taken).
 func (s *Snapshot) RankOf(id util.ID) (int, bool) {
 	s.buildIndex()
-	e, ok := s.index[id]
+	if e, ok := s.index[id]; ok {
+		return e.visRank, true
+	}
+	anchor, ok := s.Archive().AnchorOf(id)
 	if !ok {
 		return 0, false
 	}
-	return e.visRank, true
+	if anchor.IsNil() {
+		return 0, true
+	}
+	e, ok := s.index[anchor]
+	if !ok {
+		return 0, false
+	}
+	r := e.visRank
+	if !e.ch.Deleted {
+		r++
+	}
+	return r, true
 }
 
 // PosOf returns the 0-based visible position of id; ok is false for

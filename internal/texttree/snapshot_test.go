@@ -193,7 +193,7 @@ func TestSnapshotRandomisedMatchesBuffer(t *testing.T) {
 			}
 			id := tombstones[len(tombstones)-1]
 			tombstones = tombstones[:len(tombstones)-1]
-			if err := b.Undelete(id); err != nil {
+			if err := b.Undelete(id, time.Unix(now, 0)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -234,7 +234,7 @@ func TestBufferErrorPathsLeaveStateUnchanged(t *testing.T) {
 	if err := b.Delete(util.ID(777), "u", time.Unix(9, 0)); err == nil {
 		t.Fatal("delete of unknown id succeeded")
 	}
-	if err := b.Undelete(util.ID(777)); err == nil {
+	if err := b.Undelete(util.ID(777), time.Unix(9, 0)); err == nil {
 		t.Fatal("undelete of unknown id succeeded")
 	}
 	if b.Version() != v {

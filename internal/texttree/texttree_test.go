@@ -166,7 +166,7 @@ func TestBufferDeleteUndelete(t *testing.T) {
 	if b.TotalLen() != 6 {
 		t.Fatal("tombstone was physically removed")
 	}
-	if err := b.Undelete(id); err != nil {
+	if err := b.Undelete(id, time.Unix(9, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if b.Text() != "abcdef" {

@@ -110,23 +110,23 @@ func (s *FileStore) TruncateHead(off int64) error {
 		return err
 	}
 	if _, err := src.Seek(off, io.SeekStart); err != nil {
-		src.Close()
+		_ = src.Close()
 		return err
 	}
 	tmp := s.path + ".truncate"
 	tf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		src.Close()
+		_ = src.Close()
 		return err
 	}
 	_, err = io.Copy(tf, src)
-	src.Close()
+	_ = src.Close()
 	if err != nil {
-		tf.Close()
+		_ = tf.Close()
 		return err
 	}
 	if err := tf.Sync(); err != nil {
-		tf.Close()
+		_ = tf.Close()
 		return err
 	}
 	if err := tf.Close(); err != nil {
@@ -141,12 +141,12 @@ func (s *FileStore) TruncateHead(off int64) error {
 	}
 	old := s.f
 	s.f = f
-	old.Close()
+	_ = old.Close()
 	// Make the rename itself durable (best effort — not all filesystems
 	// support directory fsync).
 	if dir, err := os.Open(filepath.Dir(s.path)); err == nil {
-		dir.Sync()
-		dir.Close()
+		_ = dir.Sync()
+		_ = dir.Close()
 	}
 	return nil
 }

@@ -524,7 +524,7 @@ func (s *Store) withTxn(fn func(tx *txn.Txn) error) error {
 		if err == nil {
 			return tx.Commit()
 		}
-		tx.Abort()
+		_ = tx.Abort()
 		if !errors.Is(err, txn.ErrDeadlock) || attempt >= retries {
 			return err
 		}
