@@ -1,4 +1,4 @@
-// Command tendax-bench runs the TeNDaX reproduction experiments E1–E14
+// Command tendax-bench runs the TeNDaX reproduction experiments E1–E15
 // (see DESIGN.md and EXPERIMENTS.md) and prints one table per experiment.
 // E6 additionally writes lineage.dot (Figure 1), E7 prints the
 // document-space scatter (Figure 2), and -json writes the key metrics of
@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	tendax-bench [-exp all|e1|e2|...|e14] [-quick] [-out lineage.dot] [-json report.json]
+//	tendax-bench [-exp all|e1|e2|...|e15] [-quick] [-out lineage.dot] [-json report.json]
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e14 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e15 or all)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast smoke run")
 	out := flag.String("out", "lineage.dot", "output path for the E6 lineage DOT file")
 	jsonOut := flag.String("json", "", "write machine-readable metrics of the experiments run to this file")
@@ -45,6 +45,7 @@ func main() {
 		{"e12", "Fuzzy checkpoints and bounded recovery", runE12},
 		{"e13", "Snapshot reads: MVCC mixed read/write workload", runE13},
 		{"e14", "Tombstone compaction and cold archive", runE14},
+		{"e15", "Protocol v2: batched pipelined editing and delta resync", runE15},
 	}
 	ran := 0
 	for _, r := range runs {

@@ -37,6 +37,8 @@ func main() {
 		"tombstone compaction interval (0 disables the background compactor)")
 	compactRetention := flag.Duration("compact-retention", time.Hour,
 		"tombstones deleted more than this long ago are archived out of the hot structures")
+	opRing := flag.Int("op-ring", 0,
+		"per-document op-ring retention for protocol-v2 delta resync (0 = default 1024 events)")
 	flag.Parse()
 
 	database, err := db.Open(db.Options{
@@ -54,6 +56,9 @@ func main() {
 		log.Fatalf("tendaxd: engine: %v", err)
 	}
 	eng.StartCompactor(*compactEvery, *compactRetention)
+	if *opRing > 0 {
+		eng.Bus().SetRetention(*opRing)
+	}
 	defer func() {
 		if err := eng.StopCompactor(); err != nil {
 			log.Printf("tendaxd: background compaction: %v", err)

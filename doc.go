@@ -15,10 +15,10 @@
 //     subsystems demonstrated in the paper
 //
 // See DESIGN.md for the architecture (including the group-commit pipeline,
-// §3, the fuzzy-checkpoint/recovery protocol, §4, and the MVCC snapshot
-// read path, §5) and EXPERIMENTS.md for the reproduction of every figure
-// and demonstrated capability. bench_test.go, groupcommit_bench_test.go,
-// checkpoint_bench_test.go and snapshot_bench_test.go in this directory
-// hold one benchmark per experiment (E1–E14); cmd/tendax-bench prints the
+// §3, the fuzzy-checkpoint/recovery protocol, §4, the MVCC snapshot read
+// path, §5, and the ID-anchored batched editing protocol v2, §7) and
+// EXPERIMENTS.md for the reproduction of every figure and demonstrated
+// capability. The *_bench_test.go files in this directory hold one
+// benchmark per experiment (E1–E15); cmd/tendax-bench prints the
 // corresponding tables.
 package tendax

@@ -3,6 +3,12 @@
 // concurrently, with live propagation, awareness, collaborative layouting
 // and global undo.
 //
+// The players type through protocol-v2 sessions: keystrokes coalesce into
+// ID-anchored batches, acknowledgements are pipelined, and each player's
+// text chains after their own previous insert — so no amount of
+// concurrent typing can tear a player's lines apart, and nobody's typing
+// rate is bounded by round-trips.
+//
 // Run with: go run ./examples/lanparty [-editors 6] [-bursts 8]
 package main
 
@@ -15,7 +21,6 @@ import (
 	"tendax/internal/client"
 	"tendax/internal/core"
 	"tendax/internal/db"
-	"tendax/internal/editor"
 	"tendax/internal/protocol"
 	"tendax/internal/server"
 )
@@ -79,13 +84,21 @@ func main() {
 				log.Printf("%s: %v", user, err)
 				return
 			}
-			ed := editor.New(d)
+			// A v2 session per player: typing is coalesced and pipelined;
+			// Close drains the durable acknowledgements.
+			s, err := d.Session()
+			if err != nil {
+				log.Printf("%s: %v", user, err)
+				return
+			}
 			for j := 0; j < *bursts; j++ {
-				ed.MoveTo(d.Len())
-				if err := ed.Type(fmt.Sprintf("[%s writes line %d]\n", user, j)); err != nil {
+				if err := s.Type(fmt.Sprintf("[%s writes line %d]\n", user, j)); err != nil {
 					log.Printf("%s: %v", user, err)
 					return
 				}
+			}
+			if err := s.Close(); err != nil {
+				log.Printf("%s: %v", user, err)
 			}
 		}(i)
 	}
@@ -104,12 +117,13 @@ func main() {
 	fmt.Printf("present: %d users\n", len(present))
 
 	// The paper's *global* undo: the very last committed operation —
-	// whichever player made it — is reverted by the host.
+	// whichever player made it — is reverted by the host. With sessions,
+	// one operation is one coalesced typing burst.
 	before := len([]rune(final))
 	must2(hostDoc.Undo(protocol.ScopeGlobal))
 	text, err := hostDoc.Read()
 	must2(err)
-	fmt.Printf("global undo reverted the last player's line: %d -> %d chars\n",
+	fmt.Printf("global undo reverted the last player's burst: %d -> %d chars\n",
 		before, len([]rune(text)))
 
 	// Collaborative layout: the host makes the title a heading.

@@ -69,7 +69,23 @@ func main() {
 	}
 	fmt.Printf("undone:   %s\n", doc.Text())
 
-	// 6. Document metadata for dynamic folders, mining and search.
+	// 6. Edit batches (the protocol-v2 hot path, embedded form): several
+	// ops — ID-anchored inserts, deletes by identity, layout over the
+	// batch's own text — commit as ONE transaction with ONE history-
+	// preserving awareness event. Over the wire, client sessions coalesce
+	// keystrokes into exactly these batches.
+	results, err := doc.Apply("alice", []core.EditOp{
+		{Kind: core.EditInsert, Pos: doc.Len(), Text: " Every keystroke is a row"},
+		{Kind: core.EditInsert, AnchorPrev: true, Text: "; every batch is a transaction."},
+		{Kind: core.EditLayout, AnchorPrev: true, Span: core.SpanItalic, Value: "true"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch:    %d ops, first inserted char id %v\n", len(results), results[0].IDs[0])
+	fmt.Printf("text:     %s\n", doc.Text())
+
+	// 7. Document metadata for dynamic folders, mining and search.
 	info := doc.Info()
 	fmt.Printf("metadata: creator=%s size=%d authors=%v state=%s\n",
 		info.Creator, info.Size, info.Authors, info.State)

@@ -1,0 +1,77 @@
+package awareness
+
+import (
+	"testing"
+	"time"
+
+	"tendax/internal/util"
+)
+
+func TestEventsSinceCoversRecentGap(t *testing.T) {
+	b := NewBus(0)
+	doc := util.ID(1)
+	at := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Doc: doc, Kind: EvInsert, Pos: i, At: at})
+	}
+	evs, ok := b.EventsSince(doc, 7)
+	if !ok {
+		t.Fatal("recent gap not covered")
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(8+i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	// Caught-up and ahead-of-current both cover trivially.
+	if evs, ok := b.EventsSince(doc, 10); !ok || len(evs) != 0 {
+		t.Fatalf("caught-up: %v %v", evs, ok)
+	}
+	if _, ok := b.EventsSince(doc, 99); !ok {
+		t.Fatal("ahead-of-current should cover")
+	}
+}
+
+func TestEventsSinceFallsBackPastRetention(t *testing.T) {
+	b := NewBus(0)
+	b.SetRetention(4)
+	doc := util.ID(2)
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Doc: doc, Kind: EvInsert, Pos: i})
+	}
+	// Gap of 4 fits exactly.
+	evs, ok := b.EventsSince(doc, 6)
+	if !ok || len(evs) != 4 {
+		t.Fatalf("gap 4: ok=%v n=%d", ok, len(evs))
+	}
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("window [%d,%d]", evs[0].Seq, evs[3].Seq)
+	}
+	// Gap of 5 outlives retention: full-resync signal.
+	if _, ok := b.EventsSince(doc, 5); ok {
+		t.Fatal("gap past retention reported as covered")
+	}
+	// A document the bus never saw: seq 0, everything covers.
+	if _, ok := b.EventsSince(util.ID(404), 0); !ok {
+		t.Fatal("unknown doc should cover trivially")
+	}
+}
+
+func TestRingRetainsBatchPayload(t *testing.T) {
+	b := NewBus(0)
+	doc := util.ID(3)
+	b.Publish(Event{Doc: doc, Kind: EvBatch, Batch: []BatchItem{
+		{Kind: EvInsert, Pos: 0, Text: "hi", IDs: []util.ID{7, 8}},
+		{Kind: EvDelete, Pos: 1, N: 1, IDs: []util.ID{7}},
+	}})
+	evs, ok := b.EventsSince(doc, 0)
+	if !ok || len(evs) != 1 {
+		t.Fatalf("ok=%v n=%d", ok, len(evs))
+	}
+	if len(evs[0].Batch) != 2 || evs[0].Batch[0].Text != "hi" {
+		t.Fatalf("batch payload %+v", evs[0].Batch)
+	}
+}

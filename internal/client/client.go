@@ -19,6 +19,14 @@ import (
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("client: connection closed")
 
+// RemoteError is an error the server answered with (as opposed to a
+// transport failure): the connection is alive and the server processed
+// the request. Hello uses the distinction to tell "old server that does
+// not know the op" apart from "broken connection".
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
 // Client is one editor connection to a TeNDaX server.
 type Client struct {
 	codec  *protocol.Codec
@@ -26,6 +34,7 @@ type Client struct {
 	nextID atomic.Int64
 
 	mu      sync.Mutex
+	ver     int // negotiated protocol version (Version1 until Hello upgrades it)
 	pending map[int64]chan *protocol.Message
 	docs    map[uint64]*Doc
 	closed  bool
@@ -40,6 +49,7 @@ func Dial(addr string) (*Client, error) {
 	}
 	c := &Client{
 		codec:   protocol.NewCodec(nc),
+		ver:     protocol.Version1,
 		pending: make(map[int64]chan *protocol.Message),
 		docs:    make(map[uint64]*Doc),
 	}
@@ -99,8 +109,12 @@ func (c *Client) readLoop() {
 	}
 }
 
-// call sends a request and waits for its response.
-func (c *Client) call(req *protocol.Message) (*protocol.Message, error) {
+// start sends a request without waiting for its response: the returned
+// channel delivers the response (or closes on connection death). The
+// pipelined session flushes batches through this — the server processes a
+// connection's requests strictly in send order, so edits stay ordered
+// while their acknowledgements are collected asynchronously.
+func (c *Client) start(req *protocol.Message) (<-chan *protocol.Message, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -119,14 +133,72 @@ func (c *Client) call(req *protocol.Message) (*protocol.Message, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
+	return ch, nil
+}
+
+// await turns a start channel into the response or error.
+func await(ch <-chan *protocol.Message) (*protocol.Message, error) {
 	resp, ok := <-ch
 	if !ok {
 		return nil, ErrClosed
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, &RemoteError{Msg: resp.Err}
 	}
 	return resp, nil
+}
+
+// call sends a request and waits for its response.
+func (c *Client) call(req *protocol.Message) (*protocol.Message, error) {
+	ch, err := c.start(req)
+	if err != nil {
+		return nil, err
+	}
+	return await(ch)
+}
+
+// Hello negotiates the protocol version: the connection is upgraded to
+// the highest version both sides speak and that version is returned. A
+// pre-v2 server rejects the operation; the client then stays on v1 and
+// every v1 method keeps working — so Hello is safe to call against any
+// server. Idempotent after the first successful negotiation.
+func (c *Client) Hello() (int, error) {
+	c.mu.Lock()
+	if c.ver >= protocol.Version2 {
+		v := c.ver
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	resp, err := c.call(&protocol.Message{Op: protocol.OpHello, Ver: protocol.VersionMax})
+	if err != nil {
+		// Only a server that ANSWERED with an error — i.e. an old server
+		// rejecting the unknown op — negotiates down to v1. Transport
+		// failures propagate: a dead connection is not a v1 server.
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return protocol.Version1, nil
+		}
+		return 0, err
+	}
+	v := resp.Ver
+	if v < protocol.Version1 {
+		v = protocol.Version1
+	}
+	if v > protocol.VersionMax {
+		v = protocol.VersionMax
+	}
+	c.mu.Lock()
+	c.ver = v
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Ver returns the negotiated protocol version (Version1 before Hello).
+func (c *Client) Ver() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ver
 }
 
 // Login authenticates the connection.
@@ -323,18 +395,7 @@ func (d *Doc) apply(ev *protocol.Event) {
 		return
 	}
 	d.seq = ev.Seq
-	switch ev.Kind {
-	case "insert", "paste":
-		r := []rune(ev.Text)
-		if ev.Pos <= len(d.runes) {
-			d.runes = append(d.runes[:ev.Pos], append(r, d.runes[ev.Pos:]...)...)
-		}
-	case "delete":
-		if ev.Pos+ev.N <= len(d.runes) {
-			d.runes = append(d.runes[:ev.Pos], d.runes[ev.Pos+ev.N:]...)
-		}
-	}
-	d.events = append(d.events, *ev)
+	d.foldLocked(ev)
 	w := d.watcher
 	d.mu.Unlock()
 	if w != nil {
@@ -342,13 +403,103 @@ func (d *Doc) apply(ev *protocol.Event) {
 	}
 }
 
-// Resync refetches the authoritative text (after a gap or a structural
-// operation a position-based replica cannot replay).
+// foldLocked folds one event's text effect into the replica (caller holds
+// d.mu and has already advanced d.seq). A "batch" event — one committed
+// v2 edit batch — replays its items in order; each item's position is
+// resolved against the state after the items before it, so the fold
+// reproduces the committed text exactly.
+func (d *Doc) foldLocked(ev *protocol.Event) {
+	switch ev.Kind {
+	case "insert", "paste":
+		d.spliceLocked(ev.Pos, 0, ev.Text)
+	case "delete":
+		d.spliceLocked(ev.Pos, ev.N, "")
+	case "batch":
+		for _, it := range ev.Batch {
+			switch it.Kind {
+			case "insert", "paste":
+				d.spliceLocked(it.Pos, 0, it.Text)
+			case "delete":
+				d.spliceLocked(it.Pos, it.N, "")
+			}
+		}
+	}
+	d.events = append(d.events, *ev)
+}
+
+// spliceLocked replaces del runes at pos with ins.
+func (d *Doc) spliceLocked(pos, del int, ins string) {
+	if pos < 0 || pos+del > len(d.runes) {
+		return
+	}
+	r := []rune(ins)
+	d.runes = append(d.runes[:pos], append(r, d.runes[pos+del:]...)...)
+}
+
+// Resync brings the replica back in step with the committed state (after
+// a gap or a structural operation a position-based replica cannot
+// replay). On a v2 connection it first attempts a delta resync: the
+// server replays only the events after the replica's sequence number from
+// its bounded op ring — O(gap) on the wire — and falls back to the full
+// text when the gap outlived retention or contains an undo/redo.
 func (d *Doc) Resync() error {
+	if d.c.Ver() >= protocol.Version2 {
+		done, err := d.deltaResync()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
 	resp, err := d.c.call(&protocol.Message{Op: protocol.OpText, Doc: d.id})
 	if err != nil {
 		return err
 	}
+	d.adoptFull(resp)
+	return nil
+}
+
+// deltaResync asks for the events after the replica's sequence number and
+// folds them in. It reports done=false when the replica must fall back to
+// a full fetch (a torn delta — possible only on a server bug — rather
+// than a covered-but-empty one).
+func (d *Doc) deltaResync() (bool, error) {
+	d.mu.Lock()
+	since := d.seq
+	d.mu.Unlock()
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpResync, Doc: d.id, Since: since})
+	if err != nil {
+		return false, err
+	}
+	if resp.Full {
+		d.adoptFull(resp)
+		return true, nil
+	}
+	d.mu.Lock()
+	for i := range resp.Events {
+		ev := &resp.Events[i]
+		if ev.Seq <= d.seq {
+			continue // a concurrent push already applied it
+		}
+		if ev.Seq != d.seq+1 {
+			d.mu.Unlock()
+			return false, nil // torn delta: take the full path
+		}
+		d.seq = ev.Seq
+		d.foldLocked(ev)
+	}
+	w := d.watcher
+	d.mu.Unlock()
+	if w != nil {
+		w(protocol.Event{Doc: d.id, Kind: "resync"})
+	}
+	return true, nil
+}
+
+// adoptFull folds a full-text read (OpText response or a Full resync
+// response) into the replica.
+func (d *Doc) adoptFull(resp *protocol.Message) {
 	d.mu.Lock()
 	// The server pairs Text with the exact event sequence it contains, so
 	// the comparison below is sound: adopt the snapshot only if it is at
@@ -370,7 +521,29 @@ func (d *Doc) Resync() error {
 	if w != nil {
 		w(protocol.Event{Doc: d.id, Kind: "resync"})
 	}
-	return nil
+}
+
+// EditBatch applies a protocol-v2 edit batch — ops anchored by character
+// identity, committed as ONE server-side transaction — and waits for the
+// durable acknowledgement. Requires a v2 connection (Client.Hello).
+func (d *Doc) EditBatch(ops []protocol.EditOp) ([]protocol.EditResult, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpEdit, Doc: d.id, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Anchors returns the character-instance IDs of the visible range
+// [pos, pos+n), resolved against one consistent server snapshot. Edits
+// anchored by these IDs land at the anchors' identities no matter how
+// many concurrent edits have moved the positions since (v2 only).
+func (d *Doc) Anchors(pos, n int) ([]uint64, error) {
+	resp, err := d.c.call(&protocol.Message{Op: protocol.OpAnchors, Doc: d.id, Pos: pos, N: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
 }
 
 // Insert types text at pos through the server.

@@ -58,6 +58,11 @@ func (d *Document) Compact(horizon time.Time) (CompactStats, error) {
 func (d *Document) compactLocked(horizon time.Time) (CompactStats, wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// A pass may merge into runs already on disk; the archive must be
+	// resident before planning.
+	if _, err := d.ensureArchiveLocked(); err != nil {
+		return CompactStats{}, 0, err
+	}
 	// The merge-on-read ordering argument (archive.go) needs every
 	// archived instance dead before any instance the pass has not seen is
 	// created; clamping the horizon to "now" guarantees it.
@@ -113,6 +118,87 @@ func (d *Document) compactLocked(horizon time.Time) (CompactStats, wal.LSN, erro
 	d.snap.Store(&published{tree: d.buf.Snapshot(), seq: p.seq})
 	return stats, lsn, nil
 }
+
+// Archive lazy-load states (Document.archState).
+const (
+	archNone    int32 = iota // no archive rows on disk
+	archPending              // rows exist but have not been decoded
+	archLoaded               // arch0 installed in the buffer
+)
+
+// ensureArchive makes the document's cold archive resident, decoding the
+// archive rows on first need. It returns the archive as first loaded
+// (nil when the document has none). Opening a document skips the decode
+// entirely — open cost tracks the hot set — and every path that can
+// actually touch pre-horizon state (time travel, undo rehydration,
+// compaction, bulk buffer export) funnels through here first.
+func (d *Document) ensureArchive() (*texttree.Archive, error) {
+	switch d.archState.Load() {
+	case archNone:
+		return nil, nil
+	case archLoaded:
+		return d.arch0, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ensureArchiveLocked()
+}
+
+// ensureArchiveLocked is ensureArchive for callers already holding d.mu.
+func (d *Document) ensureArchiveLocked() (*texttree.Archive, error) {
+	switch d.archState.Load() {
+	case archNone:
+		return nil, nil
+	case archLoaded:
+		return d.arch0, nil
+	}
+	arch, err := d.loadArchive()
+	if err != nil {
+		return nil, err // sticky-pending: retried on the next read
+	}
+	if arch == nil {
+		d.archState.Store(archNone)
+		return nil, nil
+	}
+	d.buf.SetArchive(arch)
+	// Republish so new snapshots carry the archive; the visible text is
+	// untouched, so the current sequence number keeps its promise.
+	p := d.snap.Load()
+	d.snap.Store(&published{tree: d.buf.Snapshot(), seq: p.seq})
+	d.arch0 = arch
+	d.archLoadVersion = d.buf.Version()
+	d.archState.Store(archLoaded)
+	return arch, nil
+}
+
+// timeTravelTree returns t with the document's cold archive merged in
+// when t was published before the archive was loaded. A snapshot taken
+// while the archive was still on disk has the full pre-compaction hot
+// tree minus the archived cold set, and the archive as first loaded is
+// exactly that missing set; snapshots taken after the load carry their
+// own archive. On an archive I/O error the hot-only tree is returned —
+// callers that must surface the error call ensureArchive themselves.
+func (d *Document) timeTravelTree(t *texttree.Snapshot) *texttree.Snapshot {
+	if t.Archive().Len() > 0 {
+		return t
+	}
+	if d.archState.Load() == archNone {
+		return t
+	}
+	arch, err := d.ensureArchive()
+	if err != nil || arch == nil || arch.Len() == 0 {
+		return t
+	}
+	if t.Version() <= d.archLoadVersion {
+		return t.WithArchive(arch)
+	}
+	return t
+}
+
+// ArchiveResident reports whether the cold archive is decoded in memory
+// (false while lazily parked on disk). Tests and operators use it to
+// verify that opening a document did not pay for its cold history.
+func (d *Document) ArchiveResident() bool { return d.archState.Load() != archPending }
 
 // loadArchive rebuilds the document's cold-tombstone archive from the
 // archive table (document open).
@@ -206,9 +292,13 @@ func (d *Document) insertArchiveRows(tx *txn.Txn, anchor util.ID, run []*texttre
 	return flush()
 }
 
-// ArchivedLen returns the number of cold tombstones currently archived
-// (from the latest published snapshot, lock-free).
-func (d *Document) ArchivedLen() int { return d.snap.Load().tree.Archive().Len() }
+// ArchivedLen returns the number of cold tombstones currently archived.
+// It loads the lazily parked archive if needed — it answers a question
+// about the cold set, so it is a pre-horizon read by definition.
+func (d *Document) ArchivedLen() int {
+	_, _ = d.ensureArchive() // best effort; an I/O error reads as "none loaded"
+	return d.snap.Load().tree.Archive().Len()
+}
 
 // CompactOpenDocuments runs one compaction pass over every open document,
 // archiving tombstones deleted before horizon. It returns the total number

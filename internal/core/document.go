@@ -32,6 +32,16 @@ type Document struct {
 	// replaced by writers under d.mu and read lock-free by everyone else.
 	snap atomic.Pointer[published]
 
+	// Cold-archive lazy-load state: opening a document reads only the hot
+	// character set; the archive rows are decoded on the first read that
+	// actually needs them (time travel past the horizon, undo of an
+	// archived delete, a compaction pass). archState moves archNone →
+	// archPending → archLoaded; arch0 and archLoadVersion are written once
+	// under d.mu before the archLoaded store publishes them.
+	archState       atomic.Int32
+	arch0           *texttree.Archive // the archive as first loaded
+	archLoadVersion uint64            // buffer version at load time
+
 	mu         sync.Mutex
 	buf        *texttree.Buffer
 	ops        []opRecord // operation log cache (ops table is authoritative)
@@ -106,11 +116,16 @@ func (d *Document) load() error {
 	if err != nil {
 		return fmt.Errorf("core: document %v: %w", d.id, err)
 	}
-	arch, err := d.loadArchive()
+	// The cold archive is NOT decoded here: document open tracks the hot
+	// set alone. A cheap index probe records whether archive rows exist;
+	// the first read that needs them (ensureArchive) pays the decode.
+	archRids, err := d.eng.tArchive.LookupEq("doc", int64(d.id))
 	if err != nil {
 		return fmt.Errorf("core: document %v: %w", d.id, err)
 	}
-	buf.SetArchive(arch)
+	if len(archRids) > 0 {
+		d.archState.Store(archPending)
+	}
 	d.buf = buf
 	d.snap.Store(&published{tree: buf.Snapshot(), seq: d.eng.bus.Seq(d.id)})
 	for _, a := range buf.Authors() {
@@ -169,12 +184,18 @@ func (d *Document) Info() DocInfo {
 // consistent, built without ever holding the document lock, and unaffected
 // by concurrent editing after the call.
 func (d *Document) Buffer() (*texttree.Buffer, error) {
+	// Bulk character access includes the cold set; load the parked
+	// archive first (with the error surfaced, unlike the best-effort
+	// time-travel paths).
+	if _, err := d.ensureArchive(); err != nil {
+		return nil, fmt.Errorf("core: archive of document %v: %w", d.id, err)
+	}
 	tree := d.snap.Load().tree
 	buf, err := texttree.Load(tree.AllChars())
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot of document %v: %w", d.id, err)
 	}
-	buf.SetArchive(tree.Archive())
+	buf.SetArchive(d.timeTravelTree(tree).Archive())
 	return buf, nil
 }
 
@@ -636,6 +657,10 @@ func (d *Document) noteAuthorLocked(user string, now time.Time) {
 func (d *Document) CheckInvariants() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Verify the real merged state, not just the hot subset.
+	if _, err := d.ensureArchiveLocked(); err != nil {
+		return err
+	}
 	if err := d.buf.CheckInvariants(); err != nil {
 		return err
 	}

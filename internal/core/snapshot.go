@@ -86,7 +86,10 @@ func (s *DocSnapshot) Text() string { return s.t.Text() }
 
 // TextAt reconstructs the text as of instant t (time travel), as seen by
 // this snapshot: edits committed after the snapshot do not exist in it.
-func (s *DocSnapshot) TextAt(t time.Time) string { return s.t.TextAt(t) }
+// The first pre-horizon reconstruction loads the lazily parked archive.
+func (s *DocSnapshot) TextAt(t time.Time) string {
+	return s.d.timeTravelTree(s.t).TextAt(t)
+}
 
 // TextFor returns the text user may read, eliding characters masked by
 // range ACLs — the same fine-grained security filter as Document.TextFor,
@@ -181,7 +184,13 @@ func (s *DocSnapshot) VersionText(versionID util.ID) (string, error) {
 	if util.ID(row[1].(int64)) != s.d.id {
 		return "", ErrVersionNotFound
 	}
-	return s.t.TextAt(row[4].(time.Time)), nil
+	// Version reconstruction may reach past the compaction horizon; load
+	// the parked archive first so an I/O failure surfaces here instead of
+	// silently reconstructing from the hot set alone.
+	if _, err := s.d.ensureArchive(); err != nil {
+		return "", err
+	}
+	return s.d.timeTravelTree(s.t).TextAt(row[4].(time.Time)), nil
 }
 
 // DiffVersions diffs two versions (older first) against this snapshot.

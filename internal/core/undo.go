@@ -401,6 +401,11 @@ func (d *Document) reapplyPlan(op *opRecord, ids []util.ID, user string, now tim
 func (d *Document) visibilityPlan(ids []util.ID, visible bool, user string, now time.Time) (*undoPlan, error) {
 	var affected []util.ID // hot instances whose visibility flips
 	var archived []util.ID // archived tombstones to rehydrate, then flip
+	// Undo may reach archived tombstones; the lazily parked archive must
+	// be resident before the hot-or-archived triage below.
+	if _, err := d.ensureArchiveLocked(); err != nil {
+		return nil, err
+	}
 	arch := d.buf.Archive()
 	for _, id := range ids {
 		if ch, ok := d.buf.Char(id); ok {

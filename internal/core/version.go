@@ -80,9 +80,11 @@ func (d *Document) VersionText(versionID util.ID) (string, error) {
 }
 
 // TextAt reconstructs the text at an arbitrary instant (time travel over
-// the editing history), against the latest committed snapshot.
+// the editing history), against the latest committed snapshot. The first
+// pre-horizon reconstruction after open loads the lazily parked cold
+// archive.
 func (d *Document) TextAt(t time.Time) string {
-	return d.snap.Load().tree.TextAt(t)
+	return d.timeTravelTree(d.snap.Load().tree).TextAt(t)
 }
 
 // ReadEvent is one recorded read of a document.

@@ -24,9 +24,24 @@ const (
 	TypePush     = "push"
 )
 
+// Protocol versions. Version 1 is the original position-addressed,
+// one-request-per-edit protocol; version 2 adds the hello negotiation,
+// ID-anchored edit batches, anchor queries and delta resync. A connection
+// speaks v1 until a hello request negotiates something higher, so v1
+// clients keep working against a v2 server unchanged.
+const (
+	Version1   = 1
+	Version2   = 2
+	VersionMax = Version2
+)
+
 // Operations.
 const (
 	OpLogin       = "login"
+	OpHello       = "hello"   // v2: version negotiation
+	OpEdit        = "edit"    // v2: ID-anchored edit batch, one transaction
+	OpResync      = "resync"  // v2: delta resync from a sequence number
+	OpAnchors     = "anchors" // v2: visible char IDs of a position range
 	OpCreateDoc   = "create"
 	OpOpenDoc     = "open"
 	OpListDocs    = "list"
@@ -64,6 +79,67 @@ const (
 // carries the document's current sequence number, making the gap visible.
 const EvLagged = "lagged"
 
+// Edit-op kinds carried inside an OpEdit batch.
+const (
+	EditInsert = "insert"
+	EditDelete = "delete"
+	EditLayout = "layout"
+	EditNote   = "note"
+)
+
+// EditOp is one operation of a v2 edit batch. Edits address the document
+// by character-instance ID — the stable identity TeNDaX assigns every
+// typed character — rather than by a position that concurrent editors
+// invalidate in flight:
+//
+//   - insert: exactly one of After (chain the text after this instance;
+//     0 = front of document), Prev (chain after the last text this
+//     connection inserted — the pipelined-typing anchor, resolvable
+//     before the previous batch is even acknowledged), or the Pos
+//     fallback (v1 semantics, resolved against the batch-start state).
+//   - delete: Chars lists the instances to tombstone (stale-position
+//     proof: the server tombstones exactly what the client saw, wherever
+//     concurrent edits moved it); Pos/N is the v1 fallback.
+//   - layout: Chars lists the instances to span (first/last become the
+//     anchors); Pos/N fallback.
+//   - note: After is the instance to anchor at; Pos fallback.
+//
+// The whole batch applies as ONE database transaction: either every op
+// commits or none do.
+type EditOp struct {
+	Kind  string   `json:"kind"`
+	After *uint64  `json:"after,omitempty"` // anchor instance (0 = front)
+	Prev  bool     `json:"prev,omitempty"`  // after this connection's last insert
+	Pos   int      `json:"pos,omitempty"`   // v1 position fallback
+	Text  string   `json:"text,omitempty"`  // insert/note payload
+	N     int      `json:"n,omitempty"`     // delete/layout length (pos fallback)
+	Chars []uint64 `json:"chars,omitempty"` // delete/layout explicit instances
+	Span  string   `json:"span,omitempty"`  // layout span kind
+	Value string   `json:"value,omitempty"` // layout span value
+}
+
+// EditResult reports one applied op of an edit batch: the logged operation
+// ID, the instance IDs the op created (inserts — this is how a client
+// learns the identities of its own text), and the visible position the op
+// resolved to at commit time.
+type EditResult struct {
+	OpID uint64   `json:"opId"`
+	IDs  []uint64 `json:"ids,omitempty"`
+	Span uint64   `json:"span,omitempty"` // layout/note: the created span
+	Pos  int      `json:"pos"`
+}
+
+// BatchItem is one op of a committed batch inside a pushed "batch" event,
+// with its position resolved against the document state after the items
+// before it — a replica applies the items in order.
+type BatchItem struct {
+	Kind string   `json:"kind"`
+	Pos  int      `json:"pos"`
+	Text string   `json:"text,omitempty"`
+	N    int      `json:"n,omitempty"`
+	IDs  []uint64 `json:"ids,omitempty"`
+}
+
 // Clip is a clipboard on the wire.
 type Clip struct {
 	Text     string   `json:"text"`
@@ -96,17 +172,20 @@ type Presence struct {
 	Cursor int    `json:"cursor"`
 }
 
-// Event is a pushed awareness event.
+// Event is a pushed awareness event. Kind "batch" carries a protocol-v2
+// edit batch: Batch holds the committed ops in order, and the event counts
+// as ONE sequence number — the batch committed as one transaction.
 type Event struct {
-	Seq  uint64 `json:"seq"`
-	Doc  uint64 `json:"doc"`
-	Kind string `json:"kind"`
-	User string `json:"user"`
-	Pos  int    `json:"pos"`
-	Text string `json:"text,omitempty"`
-	N    int    `json:"n,omitempty"`
-	Name string `json:"name,omitempty"`
-	AtNS int64  `json:"atNs"`
+	Seq   uint64      `json:"seq"`
+	Doc   uint64      `json:"doc"`
+	Kind  string      `json:"kind"`
+	User  string      `json:"user"`
+	Pos   int         `json:"pos"`
+	Text  string      `json:"text,omitempty"`
+	N     int         `json:"n,omitempty"`
+	Name  string      `json:"name,omitempty"`
+	Batch []BatchItem `json:"batch,omitempty"`
+	AtNS  int64       `json:"atNs"`
 }
 
 // HistoryOp is one editing-history entry on the wire.
@@ -125,18 +204,21 @@ type Message struct {
 	Op   string `json:"op,omitempty"`
 
 	// Request fields.
-	User     string `json:"user,omitempty"`
-	Password string `json:"password,omitempty"`
-	Doc      uint64 `json:"doc,omitempty"`
-	Name     string `json:"name,omitempty"`
-	Text     string `json:"text,omitempty"`
-	Pos      int    `json:"pos,omitempty"`
-	N        int    `json:"n,omitempty"`
-	Kind     string `json:"kind,omitempty"`
-	Value    string `json:"value,omitempty"`
-	Scope    string `json:"scope,omitempty"`
-	Clip     *Clip  `json:"clip,omitempty"`
-	Version  uint64 `json:"version,omitempty"`
+	User     string   `json:"user,omitempty"`
+	Password string   `json:"password,omitempty"`
+	Doc      uint64   `json:"doc,omitempty"`
+	Name     string   `json:"name,omitempty"`
+	Text     string   `json:"text,omitempty"`
+	Pos      int      `json:"pos,omitempty"`
+	N        int      `json:"n,omitempty"`
+	Kind     string   `json:"kind,omitempty"`
+	Value    string   `json:"value,omitempty"`
+	Scope    string   `json:"scope,omitempty"`
+	Clip     *Clip    `json:"clip,omitempty"`
+	Version  uint64   `json:"version,omitempty"`
+	Ver      int      `json:"ver,omitempty"`   // hello: highest version the sender speaks
+	Ops      []EditOp `json:"ops,omitempty"`   // edit: the batch
+	Since    uint64   `json:"since,omitempty"` // resync: last applied sequence number
 
 	// Response fields.
 	OK   bool   `json:"ok,omitempty"`
@@ -149,11 +231,19 @@ type Message struct {
 	// of two reads is fresher. A restarted server starts the counter over
 	// (it counts in-memory buffer mutations since load), so versions are
 	// only comparable between reads served by the same process.
-	Snap     uint64      `json:"snap,omitempty"`
-	Docs     []DocInfo   `json:"docs,omitempty"`
-	Versions []Version   `json:"versions,omitempty"`
-	Present  []Presence  `json:"present,omitempty"`
-	History  []HistoryOp `json:"history,omitempty"`
+	Snap     uint64       `json:"snap,omitempty"`
+	Docs     []DocInfo    `json:"docs,omitempty"`
+	Versions []Version    `json:"versions,omitempty"`
+	Present  []Presence   `json:"present,omitempty"`
+	History  []HistoryOp  `json:"history,omitempty"`
+	Results  []EditResult `json:"results,omitempty"` // edit: one per op, in order
+	IDs      []uint64     `json:"ids,omitempty"`     // anchors: instance IDs of the range
+	Events   []Event      `json:"events,omitempty"`  // resync: the delta, in sequence order
+	// Full marks a resync response that fell back to the complete text
+	// (the gap outlived the server's op-ring retention, or the gap
+	// contains an operation a positional replica cannot replay): Text,
+	// Seq and Snap carry a full consistent read, Events is empty.
+	Full bool `json:"full,omitempty"`
 
 	// Push payload.
 	Event *Event `json:"event,omitempty"`

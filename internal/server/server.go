@@ -10,6 +10,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"tendax/internal/awareness"
 	"tendax/internal/core"
@@ -84,7 +85,10 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		c := &conn{srv: s, codec: protocol.NewCodec(nc), subs: make(map[util.ID]*awareness.Subscription)}
+		c := &conn{srv: s, codec: protocol.NewCodec(nc),
+			lastInsert: make(map[util.ID]util.ID),
+			subs:       make(map[util.ID]*awareness.Subscription)}
+		c.ver.Store(protocol.Version1)
 		s.mu.Lock()
 		s.conns[c] = true
 		s.mu.Unlock()
@@ -129,6 +133,18 @@ type conn struct {
 	srv   *Server
 	codec *protocol.Codec
 	user  string
+
+	// Protocol-v2 connection state. ver is the negotiated version
+	// (Version1 until a hello upgrades it); it is written by the serve
+	// loop and read by push pumps, hence atomic. lastInsert tracks, per
+	// document, the last character instance inserted on this connection —
+	// the seed for "prev" anchors, which let a pipelined client keep
+	// typing after text whose server-assigned IDs it has not yet learned.
+	// Keyed by document so sessions on different documents of one
+	// connection never contaminate each other's anchors; it is touched
+	// only by the serve loop.
+	ver        atomic.Int32
+	lastInsert map[util.ID]util.ID
 
 	mu   sync.Mutex
 	subs map[util.ID]*awareness.Subscription
@@ -181,12 +197,31 @@ func fail(err error) *protocol.Message {
 }
 
 func (c *conn) handle(req *protocol.Message) *protocol.Message {
-	if req.Op != protocol.OpLogin && c.user == "" {
+	if req.Op != protocol.OpLogin && req.Op != protocol.OpHello && c.user == "" {
 		return fail(errors.New("server: not logged in"))
 	}
 	switch req.Op {
 	case protocol.OpLogin:
 		return c.login(req)
+	case protocol.OpHello:
+		// Version negotiation: the connection speaks the highest version
+		// both sides support. Clients that never say hello stay on v1 —
+		// the entire v1 surface keeps working regardless.
+		ver := req.Ver
+		if ver > protocol.VersionMax {
+			ver = protocol.VersionMax
+		}
+		if ver < protocol.Version1 {
+			ver = protocol.Version1
+		}
+		c.ver.Store(int32(ver))
+		return &protocol.Message{OK: true, Ver: ver}
+	case protocol.OpEdit:
+		return c.editBatch(req)
+	case protocol.OpAnchors:
+		return c.anchors(req)
+	case protocol.OpResync:
+		return c.resync(req)
 	case protocol.OpCreateDoc:
 		d, err := c.srv.eng.CreateDocument(c.user, req.Name)
 		if err != nil {
@@ -455,14 +490,30 @@ func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
 	c.srv.eng.Bus().Join(docID, c.user, c.srv.eng.Clock().Now())
 	go func() {
 		for ev := range sub.C {
-			msg := &protocol.Message{
-				Type: protocol.TypePush,
-				Event: &protocol.Event{
-					Seq: ev.Seq, Doc: uint64(ev.Doc), Kind: string(ev.Kind),
-					User: ev.User, Pos: ev.Pos, Text: ev.Text, N: ev.N,
-					Name: ev.Name, AtNS: ev.At.UnixNano(),
-				},
+			// A multi-op batch pushes as ONE "batch" event. A subscriber
+			// that never negotiated v2 predates that kind: it would
+			// advance its sequence number without folding the text and
+			// silently diverge forever. Translate the event into the v1
+			// vocabulary it does understand — the advisory "lagged" push,
+			// whose documented recovery (resubscribe + resync) lands the
+			// replica on the committed state. The subscription itself
+			// stays live (the resubscribe deduplicates), so no event is
+			// lost around the resync.
+			if ev.Kind == awareness.EvBatch && c.ver.Load() < protocol.Version2 {
+				msg := &protocol.Message{
+					Type: protocol.TypePush,
+					Event: &protocol.Event{
+						Doc: uint64(ev.Doc), Kind: protocol.EvLagged,
+						Seq: ev.Seq, AtNS: ev.At.UnixNano(),
+					},
+				}
+				if err := c.codec.Send(msg); err != nil {
+					c.close()
+					return
+				}
+				continue
 			}
+			msg := &protocol.Message{Type: protocol.TypePush, Event: wireEvent(&ev)}
 			if err := c.codec.Send(msg); err != nil {
 				c.close()
 				return
@@ -510,6 +561,166 @@ func (c *conn) unsubscribe(doc util.ID) {
 		sub.Close()
 		c.srv.eng.Bus().Leave(doc, user, c.srv.eng.Clock().Now())
 	}
+}
+
+// editBatch applies a protocol-v2 edit batch: anchors resolved, every op
+// committed in ONE transaction by core.Document.Apply, ONE durability
+// wait, and the per-op results (operation IDs, created instance IDs,
+// resolved positions) returned so the client learns the identities of the
+// text it typed.
+func (c *conn) editBatch(req *protocol.Message) *protocol.Message {
+	d, err := c.doc(req)
+	if err != nil {
+		return fail(err)
+	}
+	if len(req.Ops) == 0 {
+		return fail(errors.New("server: empty edit batch"))
+	}
+	ops := make([]core.EditOp, len(req.Ops))
+	seenInsert := false
+	for i, op := range req.Ops {
+		co := core.EditOp{Kind: op.Kind, Pos: op.Pos, Text: op.Text, N: op.N,
+			Span: op.Span, Value: op.Value}
+		switch {
+		case op.Prev:
+			// "Prev" chains after the connection's latest insert. Within a
+			// batch core resolves it against the batch's own earlier ops;
+			// the first such op of a batch is seeded from connection state,
+			// which is what lets a pipelined client keep typing before the
+			// previous batch's acknowledgement (and its assigned IDs) ever
+			// arrives — requests on one connection apply in send order.
+			if seenInsert {
+				co.AnchorPrev = true
+			} else {
+				last := c.lastInsert[d.ID()]
+				if last.IsNil() {
+					return fail(errors.New("server: prev anchor before any insert on this connection"))
+				}
+				co.Anchor, co.UseAnchor = last, true
+			}
+		case op.After != nil:
+			co.Anchor, co.UseAnchor = util.ID(*op.After), true
+		}
+		if len(op.Chars) > 0 {
+			co.Chars = make([]util.ID, len(op.Chars))
+			for j, id := range op.Chars {
+				co.Chars[j] = util.ID(id)
+			}
+		}
+		if op.Kind == protocol.EditInsert {
+			seenInsert = true
+		}
+		ops[i] = co
+	}
+	results, lsn, err := d.ApplyAsync(c.user, ops)
+	if err != nil {
+		return fail(err)
+	}
+	for i := len(results) - 1; i >= 0; i-- {
+		if req.Ops[i].Kind == protocol.EditInsert && len(results[i].IDs) > 0 {
+			c.lastInsert[d.ID()] = results[i].IDs[len(results[i].IDs)-1]
+			break
+		}
+	}
+	if err := c.srv.eng.WaitDurable(lsn); err != nil {
+		return fail(err)
+	}
+	out := make([]protocol.EditResult, len(results))
+	for i, r := range results {
+		er := protocol.EditResult{OpID: uint64(r.OpID), Span: uint64(r.Span), Pos: r.Pos}
+		if len(r.IDs) > 0 {
+			er.IDs = make([]uint64, len(r.IDs))
+			for j, id := range r.IDs {
+				er.IDs[j] = uint64(id)
+			}
+		}
+		out[i] = er
+	}
+	return &protocol.Message{OK: true, Results: out}
+}
+
+// anchors returns the character-instance IDs of the visible range
+// [pos, pos+n), from one consistent snapshot, paired with the sequence
+// number and snapshot version of the state they were resolved against. A
+// v2 client uses them to anchor subsequent edits by identity.
+func (c *conn) anchors(req *protocol.Message) *protocol.Message {
+	d, err := c.doc(req)
+	if err != nil {
+		return fail(err)
+	}
+	n := req.N
+	if n <= 0 {
+		n = 1
+	}
+	snap, seq := d.SnapshotSeq()
+	ids := snap.Tree().RangeIDs(req.Pos, n)
+	if len(ids) != n {
+		return fail(fmt.Errorf("server: anchors [%d,%d) of %d chars", req.Pos, req.Pos+n, snap.Len()))
+	}
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return &protocol.Message{OK: true, IDs: out, Seq: seq, Snap: snap.Version()}
+}
+
+// resync serves a protocol-v2 delta resync: the events after req.Since,
+// straight from the awareness bus's bounded op ring — O(gap) on the wire
+// instead of O(document). When the gap has outlived retention, or it
+// contains an operation a positional replica cannot replay (undo/redo
+// rewrite arbitrary historical regions), the response falls back to the
+// full consistent text exactly like a v1 resync.
+func (c *conn) resync(req *protocol.Message) *protocol.Message {
+	d, err := c.doc(req)
+	if err != nil {
+		return fail(err)
+	}
+	evs, ok := c.srv.eng.Bus().EventsSince(d.ID(), req.Since)
+	if ok {
+		replayable := true
+		for i := range evs {
+			if evs[i].Kind == awareness.EvUndo || evs[i].Kind == awareness.EvRedo {
+				replayable = false
+				break
+			}
+		}
+		if replayable {
+			out := make([]protocol.Event, len(evs))
+			for i := range evs {
+				out[i] = *wireEvent(&evs[i])
+			}
+			return &protocol.Message{OK: true, Events: out}
+		}
+	}
+	snap, seq := d.SnapshotSeq()
+	text, err := snap.TextFor(c.user)
+	if err != nil {
+		return fail(err)
+	}
+	return &protocol.Message{OK: true, Full: true, Text: text,
+		Seq: seq, Snap: snap.Version()}
+}
+
+// wireEvent converts a bus event to its wire form (pushes and resync
+// deltas share it).
+func wireEvent(ev *awareness.Event) *protocol.Event {
+	out := &protocol.Event{
+		Seq: ev.Seq, Doc: uint64(ev.Doc), Kind: string(ev.Kind),
+		User: ev.User, Pos: ev.Pos, Text: ev.Text, N: ev.N,
+		Name: ev.Name, AtNS: ev.At.UnixNano(),
+	}
+	if len(ev.Batch) > 0 {
+		out.Batch = make([]protocol.BatchItem, len(ev.Batch))
+		for i, it := range ev.Batch {
+			ids := make([]uint64, len(it.IDs))
+			for j, id := range it.IDs {
+				ids[j] = uint64(id)
+			}
+			out.Batch[i] = protocol.BatchItem{Kind: string(it.Kind), Pos: it.Pos,
+				Text: it.Text, N: it.N, IDs: ids}
+		}
+	}
+	return out
 }
 
 func wireInfo(in core.DocInfo) protocol.DocInfo {

@@ -285,6 +285,15 @@ func (s *Snapshot) Archive() *Archive {
 	return s.arch
 }
 
+// WithArchive returns a view of this snapshot with a as its cold
+// archive, sharing the frozen tree. Core uses it to merge a lazily
+// loaded archive into snapshots published while the archive was still on
+// disk: such a snapshot's hot tree predates every later compaction pass,
+// so the archive as first loaded is exactly its missing cold set.
+func (s *Snapshot) WithArchive(a *Archive) *Snapshot {
+	return &Snapshot{root: s.root, head: s.head, version: s.version, arch: a}
+}
+
 // Slice returns up to n visible characters starting at pos.
 func (s *Snapshot) Slice(pos, n int) string {
 	var sb strings.Builder

@@ -1,0 +1,182 @@
+package tendax_test
+
+import (
+	"strings"
+	"testing"
+
+	"tendax/internal/client"
+	"tendax/internal/core"
+	"tendax/internal/db"
+	"tendax/internal/server"
+	"tendax/internal/util"
+)
+
+func coreID(id uint64) util.ID { return util.ID(id) }
+
+// benchServer starts a server over a file-backed store (real fsyncs — the
+// cost protocol v2's batching amortises) and returns its address.
+func benchServer(b *testing.B) (string, *core.Engine) {
+	b.Helper()
+	database, err := db.Open(db.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(eng, nil)
+	srv.SetLogf(func(string, ...interface{}) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	b.Cleanup(func() {
+		srv.Close()
+		database.Close()
+	})
+	return addr.String(), eng
+}
+
+// BenchmarkE15Typing compares the two editing hot paths end to end over
+// real TCP and a file-backed WAL (EXPERIMENTS.md E15): the v1 protocol
+// pays one blocking request round-trip plus one durability wait per
+// keystroke; a v2 session coalesces keystrokes into ID-anchored batches
+// and correlates the durable acknowledgements asynchronously. Each
+// benchmark op is one durably-committed keystroke.
+func BenchmarkE15Typing(b *testing.B) {
+	b.Run("v1-per-keystroke", func(b *testing.B) {
+		addr, _ := benchServer(b)
+		c, err := client.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Login("u", ""); err != nil {
+			b.Fatal(err)
+		}
+		docID, err := c.CreateDocument("e15-v1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := c.Open(docID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.Append("x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2-session", func(b *testing.B) {
+		addr, _ := benchServer(b)
+		c, err := client.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Login("u", ""); err != nil {
+			b.Fatal(err)
+		}
+		docID, err := c.CreateDocument("e15-v2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := c.Open(docID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := d.Session()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Type("x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/float64(s.Flushes()), "keystrokes/batch")
+	})
+}
+
+// BenchmarkE15Resync compares resynchronisation costs for a lagged
+// replica of a large document: a v2 delta resync transfers O(gap) events
+// from the op ring; the v1 path refetches the O(doc) full text.
+func BenchmarkE15Resync(b *testing.B) {
+	const docBytes = 64 * 1024
+	const gap = 16
+	setup := func(b *testing.B) (*client.Client, *client.Doc, *core.Engine) {
+		addr, eng := benchServer(b)
+		c, err := client.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		if err := c.Login("u", ""); err != nil {
+			b.Fatal(err)
+		}
+		docID, err := c.CreateDocument("e15-resync")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := c.Open(docID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Insert(0, strings.Repeat("x", docBytes)); err != nil {
+			b.Fatal(err)
+		}
+		return c, d, eng
+	}
+	b.Run("v2-delta", func(b *testing.B) {
+		c, d, eng := setup(b)
+		if _, err := c.Hello(); err != nil {
+			b.Fatal(err)
+		}
+		srvDoc, err := eng.OpenDocument(coreID(d.ID()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for j := 0; j < gap; j++ { // re-open the gap server-side
+				if _, err := srvDoc.AppendText("w", "y"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if err := d.Resync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v1-full", func(b *testing.B) {
+		_, d, eng := setup(b)
+		srvDoc, err := eng.OpenDocument(coreID(d.ID()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for j := 0; j < gap; j++ {
+				if _, err := srvDoc.AppendText("w", "y"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if err := d.Resync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
