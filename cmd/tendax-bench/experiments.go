@@ -1501,6 +1501,9 @@ func runE15(quick bool, _ string) error {
 	if err != nil {
 		return err
 	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
 	t0 = time.Now()
 	for i := 0; i < chars; i++ {
 		if err := sess.Type("x"); err != nil {
@@ -1511,6 +1514,10 @@ func runE15(quick bool, _ string) error {
 		return err
 	}
 	v2Secs := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&msAfter)
+	// Process-wide (client + in-process server) allocations per durable
+	// keystroke over the whole v2 path: batch staging, WAL, awareness push.
+	v2Allocs := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(chars)
 	v2Ops := float64(chars) / v2Secs
 	coalesce := float64(sess.Typed()) / float64(sess.Flushes())
 	speedup := v2Ops / v1Ops
@@ -1603,10 +1610,12 @@ func runE15(quick bool, _ string) error {
 	fmt.Printf("%-38s %10.0f bytes\n", "delta resync on the wire", deltaBytes)
 	fmt.Printf("%-38s %10.0f bytes\n", "full resync on the wire", fullBytes)
 	fmt.Printf("%-38s %9.1fx\n", "full/delta wire ratio", ratio)
+	fmt.Printf("%-38s %10.1f allocs\n", "v2 allocs per durable keystroke", v2Allocs)
 	emit("e15", "batch_speedup", speedup, "x", "higher")
 	emit("e15", "v2_durable_ops_per_sec", v2Ops, "op/s", "higher")
 	emit("e15", "keystrokes_per_batch", coalesce, "op/batch", "higher")
 	emit("e15", "resync_full_over_delta", ratio, "x", "higher")
+	emit("e15", "v2_allocs_per_keystroke", v2Allocs, "allocs", "lower")
 	if speedup < 5 {
 		fmt.Println("WARNING: below the 5x batched-typing acceptance envelope")
 	} else {
@@ -1617,14 +1626,185 @@ func runE15(quick bool, _ string) error {
 	return nil
 }
 
-// countingConn counts bytes read off a connection (wire-cost accounting).
+// countingConn counts bytes crossing a connection in both directions
+// (wire-cost accounting).
 type countingConn struct {
 	net.Conn
-	read atomic.Int64
+	read    atomic.Int64
+	written atomic.Int64
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	c.read.Add(int64(n))
 	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// E16: the protocol-v3 binary codec and the allocation-lean commit path.
+// Three measurements anchor the optimisation:
+//
+//  1. Heap allocations per durable keystroke on the engine's Apply path
+//     (pooled batch staging + arena char records + one-splice InsertRun).
+//  2. Durable typing throughput of a v3 binary session vs the same v2
+//     session over JSON frames, over real TCP and a file-backed WAL.
+//  3. Wire bytes per keystroke (both directions: batch, ack, push) under
+//     each framing — the frame-size win, measured not computed.
+func runE16(quick bool, _ string) error {
+	chars := 4000
+	allocBatches := 200
+	if quick {
+		chars = 600
+		allocBatches = 40
+	}
+	const batchRunes = 128
+
+	dir, err := os.MkdirTemp("", "tendax-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	database, err := db.Open(db.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer database.Close()
+	eng, err := core.NewEngine(database, nil)
+	if err != nil {
+		return err
+	}
+
+	// --- Phase 1: allocations per keystroke on the raw Apply path. ---
+	doc, err := eng.CreateDocument("bench", "e16-alloc")
+	if err != nil {
+		return err
+	}
+	text := strings.Repeat("x", batchRunes)
+	ops := []core.EditOp{{Kind: core.EditInsert, Pos: 0, Text: text}}
+	// Warm the pools and the document before measuring.
+	for i := 0; i < 8; i++ {
+		if _, _, err := doc.ApplyAsync("bench", ops); err != nil {
+			return err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var lsn wal.LSN
+	for i := 0; i < allocBatches; i++ {
+		if _, lsn, err = doc.ApplyAsync("bench", ops); err != nil {
+			return err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if err := eng.WaitDurable(lsn); err != nil {
+		return err
+	}
+	applyAllocs := float64(after.Mallocs-before.Mallocs) / float64(allocBatches*batchRunes)
+
+	// --- Phase 2: v2 JSON vs v3 binary typing sessions over TCP. ---
+	srv := server.New(eng, nil)
+	srv.SetLogf(func(string, ...interface{}) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve() }()
+	defer func() { _ = srv.Close() }()
+
+	type typed struct {
+		opsPerSec float64
+		bytes     float64 // both directions, typing loop only
+	}
+	runSession := func(user, docName string, maxVer int) (typed, error) {
+		c, err := client.Dial(addr.String())
+		if err != nil {
+			return typed{}, err
+		}
+		defer c.Close()
+		if err := c.Login(user, ""); err != nil {
+			return typed{}, err
+		}
+		ver, err := c.HelloVer(maxVer)
+		if err != nil {
+			return typed{}, err
+		}
+		if ver != maxVer {
+			return typed{}, fmt.Errorf("%s negotiated v%d, want v%d", user, ver, maxVer)
+		}
+		id, err := c.CreateDocument(docName)
+		if err != nil {
+			return typed{}, err
+		}
+		d, err := c.Open(id)
+		if err != nil {
+			return typed{}, err
+		}
+		sess, err := d.Session()
+		if err != nil {
+			return typed{}, err
+		}
+		// Sequential phases on an otherwise idle server: the byte-counter
+		// delta across the typing loop is this session's traffic alone.
+		m := srv.Metrics()
+		wireBefore := m.BytesIn.Load() + m.BytesOut.Load()
+		t0 := time.Now()
+		for i := 0; i < chars; i++ {
+			if err := sess.Type("x"); err != nil {
+				return typed{}, err
+			}
+		}
+		if err := sess.Wait(); err != nil {
+			return typed{}, err
+		}
+		secs := time.Since(t0).Seconds()
+		wire := float64(m.BytesIn.Load() + m.BytesOut.Load() - wireBefore)
+		return typed{opsPerSec: float64(chars) / secs, bytes: wire}, nil
+	}
+
+	v2, err := runSession("v2", "e16-v2", protocol.Version2)
+	if err != nil {
+		return err
+	}
+	v3, err := runSession("v3", "e16-v3", protocol.Version3)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"e16-v2", "e16-v3"} {
+		d, err := eng.FindDocument(name)
+		if err != nil {
+			return err
+		}
+		if d.Len() != chars {
+			return fmt.Errorf("%s has %d chars, want %d", name, d.Len(), chars)
+		}
+	}
+	speedup := v3.opsPerSec / v2.opsPerSec
+	byteRatio := v2.bytes / v3.bytes
+
+	fmt.Printf("%-38s %10.1f allocs\n", "Apply-path allocs per keystroke", applyAllocs)
+	fmt.Printf("%-38s %10d per path\n", "durable keystrokes", chars)
+	fmt.Printf("%-38s %10.0f op/s\n", "v2 JSON session", v2.opsPerSec)
+	fmt.Printf("%-38s %10.0f op/s\n", "v3 binary session", v3.opsPerSec)
+	fmt.Printf("%-38s %9.2fx\n", "v3/v2 typing speedup", speedup)
+	fmt.Printf("%-38s %10.1f B/keystroke\n", "v2 wire cost", v2.bytes/float64(chars))
+	fmt.Printf("%-38s %10.1f B/keystroke\n", "v3 wire cost", v3.bytes/float64(chars))
+	fmt.Printf("%-38s %9.2fx\n", "v2/v3 wire bytes ratio", byteRatio)
+	emit("e16", "v3_durable_ops_per_sec", v3.opsPerSec, "op/s", "higher")
+	emit("e16", "v3_speedup_vs_v2", speedup, "x", "higher")
+	emit("e16", "wire_bytes_ratio_v2_over_v3", byteRatio, "x", "higher")
+	emit("e16", "apply_allocs_per_keystroke", applyAllocs, "allocs", "lower")
+	if byteRatio < 4 {
+		fmt.Println("WARNING: below the 4x wire-shrink acceptance envelope")
+	} else {
+		fmt.Println("shape check: presence-bitmap binary frames carry the same batches in a fraction")
+		fmt.Println("             of the bytes, and the pooled/arena commit path keeps allocations per")
+		fmt.Println("             keystroke flat as batches grow.")
+	}
+	return nil
 }

@@ -3,16 +3,23 @@
 //
 // Usage:
 //
-//	tendaxd -addr :7468 -data /var/lib/tendax [-auth]
+//	tendaxd -addr :7468 -data /var/lib/tendax [-auth] [-pprof 127.0.0.1:7469]
 //
 // With -auth, clients must present credentials of users created via the
 // security tables; without it any user name is accepted (the trusted
 // LAN-party demo configuration). An empty -data runs fully in memory.
+//
+// -pprof starts a debug HTTP listener exposing the standard net/http/pprof
+// profiles under /debug/pprof/ and the server's hot-path counters
+// (batches/s, wire bytes in/out, allocations per committed batch) as JSON
+// under /metrics. Bind it to loopback; it is unauthenticated by design.
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +46,8 @@ func main() {
 		"tombstones deleted more than this long ago are archived out of the hot structures")
 	opRing := flag.Int("op-ring", 0,
 		"per-document op-ring retention for protocol-v2 delta resync (0 = default 1024 events)")
+	pprofAddr := flag.String("pprof", "",
+		"debug HTTP listen address for /debug/pprof/ and /metrics (empty = disabled)")
 	flag.Parse()
 
 	database, err := db.Open(db.Options{
@@ -80,6 +89,23 @@ func main() {
 	}
 
 	srv := server.New(eng, sec)
+	if *pprofAddr != "" {
+		// A dedicated mux rather than http.DefaultServeMux, so nothing an
+		// imported package registers globally leaks onto the debug port.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", srv.Metrics().Handler())
+		go func() {
+			log.Printf("tendaxd: debug endpoint on http://%s/debug/pprof/ (+/metrics)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("tendaxd: debug endpoint: %v", err)
+			}
+		}()
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("tendaxd: listen: %v", err)

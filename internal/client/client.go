@@ -161,8 +161,23 @@ func (c *Client) call(req *protocol.Message) (*protocol.Message, error) {
 // the highest version both sides speak and that version is returned. A
 // pre-v2 server rejects the operation; the client then stays on v1 and
 // every v1 method keeps working — so Hello is safe to call against any
-// server. Idempotent after the first successful negotiation.
-func (c *Client) Hello() (int, error) {
+// server. Idempotent after the first successful negotiation. Negotiating
+// Version3 or later switches the connection's outbound framing to the
+// binary codec (inbound frames are auto-detected per frame either way).
+func (c *Client) Hello() (int, error) { return c.HelloVer(protocol.VersionMax) }
+
+// HelloVer is Hello with a client-side ceiling: the connection is upgraded
+// to at most max, letting callers hold a connection at an older protocol
+// version (benchmarks and compatibility tests pin v2 this way). The first
+// successful negotiation is final — a later Hello or HelloVer returns the
+// already-negotiated version rather than re-upgrading a pinned connection.
+func (c *Client) HelloVer(max int) (int, error) {
+	if max < protocol.Version2 {
+		max = protocol.Version2
+	}
+	if max > protocol.VersionMax {
+		max = protocol.VersionMax
+	}
 	c.mu.Lock()
 	if c.ver >= protocol.Version2 {
 		v := c.ver
@@ -170,7 +185,7 @@ func (c *Client) Hello() (int, error) {
 		return v, nil
 	}
 	c.mu.Unlock()
-	resp, err := c.call(&protocol.Message{Op: protocol.OpHello, Ver: protocol.VersionMax})
+	resp, err := c.call(&protocol.Message{Op: protocol.OpHello, Ver: max})
 	if err != nil {
 		// Only a server that ANSWERED with an error — i.e. an old server
 		// rejecting the unknown op — negotiates down to v1. Transport
@@ -185,12 +200,15 @@ func (c *Client) Hello() (int, error) {
 	if v < protocol.Version1 {
 		v = protocol.Version1
 	}
-	if v > protocol.VersionMax {
-		v = protocol.VersionMax
+	if v > max {
+		v = max
 	}
 	c.mu.Lock()
 	c.ver = v
 	c.mu.Unlock()
+	if v >= protocol.Version3 {
+		c.codec.EnableBinary()
+	}
 	return v, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tendax/internal/awareness"
@@ -101,9 +102,20 @@ func (d *Document) ApplyAsync(user string, ops []EditOp) ([]EditResult, wal.LSN,
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	now := d.eng.clock.Now()
-	st, err := d.stageBatch(user, ops, now)
-	if err != nil {
+	// Staging state is pooled and arena-backed: a steady stream of batches
+	// recycles the same stagedOp slices, per-batch maps and character-record
+	// blocks instead of re-allocating them per commit. Nothing reachable
+	// from st survives this call (the buffer, the op log and the results
+	// all take their own copies), so releasing on every return is safe.
+	st := batchPool.Get().(*batchState)
+	defer func() {
+		st.reset()
+		batchPool.Put(st)
+	}()
+	st.user = user
+	st.now = d.eng.clock.Now()
+	st.head = d.buf.Head()
+	if err := d.stageBatch(st, ops); err != nil {
 		return nil, 0, err
 	}
 
@@ -121,14 +133,17 @@ func (d *Document) ApplyAsync(user string, ops []EditOp) ([]EditResult, wal.LSN,
 	if err != nil {
 		return nil, 0, err
 	}
-	d.noteAuthorLocked(user, now)
-	d.publishBatchLocked(user, st, items, now)
+	d.noteAuthorLocked(user, st.now)
+	d.publishBatchLocked(user, st, items, st.now)
 	return results, lsn, nil
 }
 
 // batchState is a staged edit batch: every row mutation computed and
 // validated against the document state plus the batch's own earlier ops,
-// before anything is persisted or applied.
+// before anything is persisted or applied. Instances are pooled (see
+// batchPool): all slices, maps and the character arena are recycled
+// across batches, so the steady-state commit path allocates per batch
+// only what outlives it (result IDs, op-log records).
 type batchState struct {
 	user string
 	now  time.Time
@@ -141,6 +156,72 @@ type batchState struct {
 	opRecs     []*opRecord                // one log row per op
 	sizeDelta  int                        // visible-length change of the whole batch
 	head       util.ID                    // staged chain head
+
+	arena charArena // backing store for per-batch character records
+}
+
+// charArena hands out blocks of texttree.Char with pool lifetime. Records
+// allocated here are only reachable from the owning batchState: the buffer
+// copies runs on InsertRun, persistence boxes fields into db.Row values,
+// and results carry IDs, never record pointers — so resetting the arena
+// when the batch is released cannot be observed. A block is never grown in
+// place (createdSet holds pointers into it); exhaustion allocates a fresh,
+// larger block and strands the remainder of the old one, which stays alive
+// exactly as long as the pointers into it do.
+type charArena struct {
+	buf  []texttree.Char
+	next int
+}
+
+func (a *charArena) alloc(n int) []texttree.Char {
+	if a.next+n > len(a.buf) {
+		size := 4 * n
+		if size < 1024 {
+			size = 1024
+		}
+		a.buf = make([]texttree.Char, size)
+		a.next = 0
+	}
+	s := a.buf[a.next : a.next+n : a.next+n]
+	a.next += n
+	return s
+}
+
+func (a *charArena) reset() { a.next = 0 }
+
+var batchPool = sync.Pool{New: func() interface{} {
+	return &batchState{
+		createdSet: make(map[util.ID]*texttree.Char),
+		updated:    make(map[util.ID]*texttree.Char),
+	}
+}}
+
+// reset clears the state for reuse, zeroing slice elements so recycled
+// batches do not pin the previous batch's op records and ID slices.
+func (st *batchState) reset() {
+	st.user = ""
+	st.now = time.Time{}
+	for i := range st.ops {
+		st.ops[i] = stagedOp{}
+	}
+	st.ops = st.ops[:0]
+	for i := range st.created {
+		st.created[i] = nil
+	}
+	st.created = st.created[:0]
+	clear(st.createdSet)
+	clear(st.updated)
+	for i := range st.spans {
+		st.spans[i] = nil
+	}
+	st.spans = st.spans[:0]
+	for i := range st.opRecs {
+		st.opRecs[i] = nil
+	}
+	st.opRecs = st.opRecs[:0]
+	st.sizeDelta = 0
+	st.head = util.NilID
+	st.arena.reset()
 }
 
 // stagedOp carries what the apply phase needs to replay one op against
@@ -203,16 +284,10 @@ func (st *batchState) setLink(d *Document, id util.ID, mut func(*texttree.Char))
 }
 
 // stageBatch resolves every op of the batch in order against the evolving
-// staged state. It never touches the buffer or the database: on error the
-// document is exactly as before.
-func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchState, error) {
-	st := &batchState{
-		user:       user,
-		now:        now,
-		createdSet: make(map[util.ID]*texttree.Char),
-		updated:    make(map[util.ID]*texttree.Char),
-		head:       d.buf.Head(),
-	}
+// staged state, filling the (pooled, pre-reset) st. It never touches the
+// buffer or the database: on error the document is exactly as before.
+func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
+	user, now := st.user, st.now
 	lastInsert := util.NilID    // last instance created by an earlier insert op
 	var lastInsertIDs []util.ID // all instances of that insert
 
@@ -221,19 +296,24 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 		case EditInsert:
 			prev, err := d.resolveInsertAnchor(st, op, lastInsert)
 			if err != nil {
-				return nil, fmt.Errorf("core: batch op %d: %w", i, err)
+				return fmt.Errorf("core: batch op %d: %w", i, err)
 			}
 			runes := []rune(op.Text)
 			if len(runes) == 0 {
-				return nil, fmt.Errorf("core: batch op %d: empty insert", i)
+				return fmt.Errorf("core: batch op %d: empty insert", i)
 			}
 			succ := st.succ(d, prev)
 			ids := make([]util.ID, len(runes))
 			for j := range runes {
 				ids[j] = d.eng.ids.Next()
 			}
+			// Two arena blocks per insert: the records as created (replayed
+			// into the buffer — a later delete op of the same batch must not
+			// leak into them) and the final records (mutable via setLink,
+			// persisted with their end-of-batch state).
 			sop := stagedOp{kind: op.Kind, opID: d.eng.ids.Next(), prev: prev,
-				text: op.Text, chars: make([]texttree.Char, len(runes))}
+				text: op.Text, chars: st.arena.alloc(len(runes))}
+			recs := st.arena.alloc(len(runes))
 			for j, r := range runes {
 				ch := texttree.Char{ID: ids[j], Rune: r, Author: user, Created: now}
 				if j == 0 {
@@ -247,18 +327,18 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 					ch.Next = ids[j+1]
 				}
 				sop.chars[j] = ch // value copy: the record as created
-				rec := ch
-				st.created = append(st.created, &rec)
-				st.createdSet[ch.ID] = &rec
+				recs[j] = ch
+				st.created = append(st.created, &recs[j])
+				st.createdSet[ch.ID] = &recs[j]
 			}
 			if prev.IsNil() {
 				st.head = ids[0]
 			} else if err := st.setLink(d, prev, func(c *texttree.Char) { c.Next = ids[0] }); err != nil {
-				return nil, fmt.Errorf("core: batch op %d: %w", i, err)
+				return fmt.Errorf("core: batch op %d: %w", i, err)
 			}
 			if !succ.IsNil() {
 				if err := st.setLink(d, succ, func(c *texttree.Char) { c.Prev = ids[len(ids)-1] }); err != nil {
-					return nil, fmt.Errorf("core: batch op %d: %w", i, err)
+					return fmt.Errorf("core: batch op %d: %w", i, err)
 				}
 			}
 			st.sizeDelta += len(runes)
@@ -272,11 +352,11 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 			targets := op.Chars
 			if len(targets) == 0 {
 				if op.N <= 0 {
-					return nil, fmt.Errorf("core: batch op %d: delete of %d chars", i, op.N)
+					return fmt.Errorf("core: batch op %d: delete of %d chars", i, op.N)
 				}
 				targets = d.buf.RangeIDs(op.Pos, op.N)
 				if len(targets) != op.N {
-					return nil, fmt.Errorf("core: batch op %d: %w: delete [%d,%d) of %d chars",
+					return fmt.Errorf("core: batch op %d: %w: delete [%d,%d) of %d chars",
 						i, ErrRange, op.Pos, op.Pos+op.N, d.buf.Len())
 				}
 			}
@@ -289,12 +369,12 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 					// construction, so the delete already holds.
 					arch, err := d.ensureArchiveLocked()
 					if err != nil {
-						return nil, fmt.Errorf("core: batch op %d: %w", i, err)
+						return fmt.Errorf("core: batch op %d: %w", i, err)
 					}
 					if arch.Contains(id) {
 						continue
 					}
-					return nil, fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, id)
+					return fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, id)
 				}
 				if ch.Deleted {
 					continue // deletion by identity commutes
@@ -305,7 +385,7 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 					c.DeletedAt = now
 					c.Restored = time.Time{}
 				}); err != nil {
-					return nil, fmt.Errorf("core: batch op %d: %w", i, err)
+					return fmt.Errorf("core: batch op %d: %w", i, err)
 				}
 				affected = append(affected, id)
 			}
@@ -320,23 +400,23 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 			ids := op.Chars
 			if len(ids) == 0 && op.AnchorPrev {
 				if len(lastInsertIDs) == 0 {
-					return nil, fmt.Errorf("core: batch op %d: prev anchor without a prior insert", i)
+					return fmt.Errorf("core: batch op %d: prev anchor without a prior insert", i)
 				}
 				ids = lastInsertIDs
 			}
 			if len(ids) == 0 {
 				if op.N <= 0 {
-					return nil, fmt.Errorf("core: batch op %d: layout over %d chars", i, op.N)
+					return fmt.Errorf("core: batch op %d: layout over %d chars", i, op.N)
 				}
 				ids = d.buf.RangeIDs(op.Pos, op.N)
 				if len(ids) != op.N {
-					return nil, fmt.Errorf("core: batch op %d: %w: layout [%d,%d) of %d",
+					return fmt.Errorf("core: batch op %d: %w: layout [%d,%d) of %d",
 						i, ErrRange, op.Pos, op.Pos+op.N, d.buf.Len())
 				}
 			}
 			for _, id := range ids {
 				if _, ok := st.char(d, id); !ok {
-					return nil, fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, id)
+					return fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, id)
 				}
 			}
 			spanID := d.eng.ids.Next()
@@ -356,17 +436,17 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 			case op.UseAnchor:
 				anchor = op.Anchor
 				if _, ok := st.char(d, anchor); !ok {
-					return nil, fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, anchor)
+					return fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, anchor)
 				}
 			case op.AnchorPrev:
 				if lastInsert.IsNil() {
-					return nil, fmt.Errorf("core: batch op %d: prev anchor without a prior insert", i)
+					return fmt.Errorf("core: batch op %d: prev anchor without a prior insert", i)
 				}
 				anchor = lastInsert
 			default:
 				id, ok := d.buf.IDAt(op.Pos)
 				if !ok {
-					return nil, fmt.Errorf("core: batch op %d: %w: note at %d of %d",
+					return fmt.Errorf("core: batch op %d: %w: note at %d of %d",
 						i, ErrRange, op.Pos, d.buf.Len())
 				}
 				anchor = id
@@ -383,10 +463,10 @@ func (d *Document) stageBatch(user string, ops []EditOp, now time.Time) (*batchS
 			st.ops = append(st.ops, sop)
 
 		default:
-			return nil, fmt.Errorf("core: batch op %d: unknown kind %q", i, op.Kind)
+			return fmt.Errorf("core: batch op %d: unknown kind %q", i, op.Kind)
 		}
 	}
-	return st, nil
+	return nil
 }
 
 // resolveInsertAnchor turns an insert op's anchor into the chain
@@ -479,13 +559,14 @@ func (d *Document) applyStaged(st *batchState) ([]EditResult, []awareness.BatchI
 					pos = p + 1
 				}
 			}
-			at := sop.prev
+			// One batched splice for the whole run: the buffer recomputes the
+			// chain links itself and copies the records, so the arena-backed
+			// staging slice is reusable the moment this returns.
+			if _, err := d.buf.InsertRun(sop.prev, sop.chars); err != nil {
+				return nil, nil, fmt.Errorf("core: buffer diverged: %w", err)
+			}
 			ids := make([]util.ID, len(sop.chars))
 			for j := range sop.chars {
-				if _, err := d.buf.InsertAfter(at, sop.chars[j]); err != nil {
-					return nil, nil, fmt.Errorf("core: buffer diverged: %w", err)
-				}
-				at = sop.chars[j].ID
 				ids[j] = sop.chars[j].ID
 			}
 			items = append(items, awareness.BatchItem{Kind: awareness.EvInsert,

@@ -372,14 +372,10 @@ func (d *Document) insertAsync(user string, pos int, text, kind string, srcDoc u
 		return util.NilID, 0, err
 	}
 
-	// Transaction committed: apply to the in-memory buffer, publish the
-	// new snapshot for readers, and notify.
-	at := prevID
-	for i := range chars {
-		if _, err := d.buf.InsertAfter(at, chars[i]); err != nil {
-			return util.NilID, 0, fmt.Errorf("core: buffer diverged: %w", err)
-		}
-		at = chars[i].ID
+	// Transaction committed: apply to the in-memory buffer with one batched
+	// splice, publish the new snapshot for readers, and notify.
+	if _, err := d.buf.InsertRun(prevID, chars); err != nil {
+		return util.NilID, 0, fmt.Errorf("core: buffer diverged: %w", err)
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: kind, CharIDs: ids, Created: now})
 	d.noteAuthorLocked(user, now)

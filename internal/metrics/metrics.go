@@ -1,0 +1,115 @@
+// Package metrics holds the daemon's hot-path counters: cheap atomic
+// increments on the serving paths, aggregated and derived only at scrape
+// time by the -pprof debug endpoint. The commit path pays a handful of
+// uncontended atomic adds per batch — never a lock, never an allocation.
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	rtmetrics "runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon-wide counter set. All fields are monotonic except
+// Conns (a gauge). Increment them directly; they are safe from any
+// goroutine.
+type Metrics struct {
+	Batches    Counter // edit batches committed (v2/v3 OpEdit)
+	Ops        Counter // ops inside those batches
+	Keystrokes Counter // characters inserted by those batches
+	Pushes     Counter // awareness frames pushed to subscribers
+	BytesIn    Counter // wire bytes received, framed
+	BytesOut   Counter // wire bytes sent, framed
+	Conns      Counter // currently connected editors (gauge)
+
+	mu          sync.Mutex
+	start       time.Time
+	lastScrape  time.Time
+	lastAllocs  uint64
+	lastBatches int64
+}
+
+// Counter is an alias for atomic.Int64 so the protocol layer can take
+// *atomic.Int64 counters without importing this package.
+type Counter = atomic.Int64
+
+// New returns a zeroed metric set.
+func New() *Metrics {
+	now := time.Now()
+	return &Metrics{start: now, lastScrape: now, lastAllocs: heapAllocObjects()}
+}
+
+var allocSampleName = "/gc/heap/allocs:objects"
+
+func heapAllocObjects() uint64 {
+	s := []rtmetrics.Sample{{Name: allocSampleName}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() == rtmetrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// snapshot is the scrape wire format.
+type snapshot struct {
+	UptimeSec  float64 `json:"uptime_sec"`
+	Batches    int64   `json:"batches"`
+	Ops        int64   `json:"ops"`
+	Keystrokes int64   `json:"keystrokes"`
+	Pushes     int64   `json:"pushes"`
+	BytesIn    int64   `json:"bytes_in"`
+	BytesOut   int64   `json:"bytes_out"`
+	Conns      int64   `json:"conns"`
+
+	// Derived over the window since the previous scrape.
+	WindowSec       float64 `json:"window_sec"`
+	BatchesPerSec   float64 `json:"batches_per_sec"`
+	AllocsPerBatch  float64 `json:"allocs_per_batch"`
+	WindowedBatches int64   `json:"windowed_batches"`
+}
+
+// Handler serves the counters as JSON, plus two derived figures computed
+// over the interval between scrapes: batches/s and heap allocations per
+// committed batch (process-wide — scrape during a steady benchmark load
+// for a meaningful number).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		allocs := heapAllocObjects()
+		batches := m.Batches.Load()
+
+		m.mu.Lock()
+		window := now.Sub(m.lastScrape)
+		dAllocs := allocs - m.lastAllocs
+		dBatches := batches - m.lastBatches
+		m.lastScrape, m.lastAllocs, m.lastBatches = now, allocs, batches
+		start := m.start
+		m.mu.Unlock()
+
+		snap := snapshot{
+			UptimeSec:       now.Sub(start).Seconds(),
+			Batches:         batches,
+			Ops:             m.Ops.Load(),
+			Keystrokes:      m.Keystrokes.Load(),
+			Pushes:          m.Pushes.Load(),
+			BytesIn:         m.BytesIn.Load(),
+			BytesOut:        m.BytesOut.Load(),
+			Conns:           m.Conns.Load(),
+			WindowSec:       window.Seconds(),
+			WindowedBatches: dBatches,
+		}
+		if window > 0 {
+			snap.BatchesPerSec = float64(dBatches) / window.Seconds()
+		}
+		if dBatches > 0 {
+			snap.AllocsPerBatch = float64(dAllocs) / float64(dBatches)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}

@@ -1,0 +1,1388 @@
+package protocol
+
+// This file implements the protocol-v3 binary wire encoding. A v3 frame is
+//
+//	0xB3  uvarint(len(payload))  payload
+//
+// where the payload is one Message packed with a presence bitmap: a uvarint
+// whose bit i says "field i follows", with zero-valued fields skipped
+// entirely — exactly the fields JSON's omitempty would have dropped, so a
+// binary frame and a JSON frame of the same message are semantically
+// identical (the codec fuzz pins this). Scalars are varints (zigzag for
+// signed values), strings are length-prefixed bytes, well-known protocol
+// strings (ops, kinds, scopes) compress to a one-byte symbol-table index,
+// and character-ID lists are run-length/delta coded — a freshly typed run
+// of n characters has n consecutive IDs and costs three varints instead of
+// n decimal numbers.
+//
+// Framing is negotiated per *sender*: each side emits binary only after the
+// hello handshake lands on v3, while the receiver auto-detects every frame
+// by its first byte (0xB3 can never open a JSON line, which always starts
+// with '{'). That makes the upgrade race-free — a push serialized between
+// the hello response and the client's switch is still decoded correctly —
+// and guarantees a binary frame is never sent to a peer that did not
+// negotiate v3.
+//
+// The symbol table and the bit assignments below are part of the v3 wire
+// format: append-only, never reorder or remove.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"unicode/utf8"
+)
+
+const (
+	// binMagic opens every binary frame. It is not a valid first byte of
+	// any JSON document, so receivers can dispatch per frame.
+	binMagic = 0xB3
+
+	// MaxBinaryFrame caps a binary frame's payload; a length prefix beyond
+	// it is rejected before any allocation.
+	MaxBinaryFrame = 1 << 26
+
+	// maxListElems caps decoded list lengths (fuzz-safety: a few bytes must
+	// not claim a giant allocation).
+	maxListElems = 1 << 20
+)
+
+// Symbol table for well-known protocol strings. Append-only: the indexes
+// are on the wire.
+var symTable []string
+var symIndex map[string]uint64
+
+func init() {
+	symIndex = make(map[string]uint64)
+	add := func(ss ...string) {
+		for _, s := range ss {
+			if _, dup := symIndex[s]; !dup {
+				symIndex[s] = uint64(len(symTable))
+				symTable = append(symTable, s)
+			}
+		}
+	}
+	add(TypeRequest, TypeResponse, TypePush)
+	add(OpLogin, OpHello, OpEdit, OpResync, OpAnchors, OpCreateDoc,
+		OpOpenDoc, OpListDocs, OpInsert, OpAppend, OpDelete, OpCopy,
+		OpPaste, OpUndo, OpRedo, OpLayout, OpNote, OpVersion, OpVersions,
+		OpVersionText, OpText, OpRead, OpSubscribe, OpUnsubscribe,
+		OpCursor, OpPresence, OpHistory)
+	add(EditInsert, EditDelete, EditLayout, EditNote)
+	add(EvLagged, "batch", "paste", "undo", "redo", "version", "workflow",
+		"security", "join", "leave", "cursor", "rename", "resync")
+	add(ScopeLocal, ScopeGlobal)
+	add("draft", "review", "final")
+}
+
+// --- primitive append helpers -------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v)<<1^uint64(v>>63))
+}
+
+func appendBytes(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendSym writes a well-known string as 1+index, or 0 followed by the
+// literal for strings outside the table.
+func appendSym(b []byte, s string) []byte {
+	if idx, ok := symIndex[s]; ok {
+		return appendUvarint(b, idx+1)
+	}
+	b = appendUvarint(b, 0)
+	return appendBytes(b, s)
+}
+
+// appendIDList run-length/delta codes a character-ID list: element count,
+// then (zigzag delta of run start from previous element, extra consecutive
+// +1 elements) pairs.
+func appendIDList(b []byte, ids []uint64) []byte {
+	b = appendUvarint(b, uint64(len(ids)))
+	prev := uint64(0)
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[j-1]+1 {
+			j++
+		}
+		b = appendZigzag(b, int64(ids[i]-prev))
+		b = appendUvarint(b, uint64(j-i-1))
+		prev = ids[j-1]
+		i = j
+	}
+	return b
+}
+
+// --- primitive decode helpers -------------------------------------------
+
+type bdec struct {
+	b   []byte
+	pos int
+}
+
+func (d *bdec) rem() int { return len(d.b) - d.pos }
+
+func (d *bdec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("protocol: truncated varint at %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *bdec) zigzag() (int64, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(v>>1) ^ -int64(v&1), nil
+}
+
+func (d *bdec) i() (int, error) {
+	v, err := d.zigzag()
+	return int(v), err
+}
+
+func (d *bdec) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.rem()) {
+		return "", fmt.Errorf("protocol: string of %d bytes exceeds frame", n)
+	}
+	raw := d.b[d.pos : d.pos+int(n)]
+	// v3 strings are strictly UTF-8: the JSON codec silently replaces
+	// invalid sequences on decode, so accepting them here would let the
+	// two encodings disagree about the same frame.
+	if !utf8.Valid(raw) {
+		return "", fmt.Errorf("protocol: string is not valid UTF-8")
+	}
+	s := string(raw)
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *bdec) sym() (string, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if v == 0 {
+		return d.str()
+	}
+	if v > uint64(len(symTable)) {
+		return "", fmt.Errorf("protocol: unknown symbol %d", v)
+	}
+	return symTable[v-1], nil
+}
+
+func (d *bdec) idList() ([]uint64, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxListElems {
+		return nil, fmt.Errorf("protocol: ID list of %d elements exceeds limit", n)
+	}
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]uint64, 0, capHint)
+	prev := uint64(0)
+	for uint64(len(out)) < n {
+		delta, err := d.zigzag()
+		if err != nil {
+			return nil, err
+		}
+		extra, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if extra+1 > n-uint64(len(out)) {
+			return nil, fmt.Errorf("protocol: ID run of %d overflows list of %d", extra+1, n)
+		}
+		v := prev + uint64(delta)
+		out = append(out, v)
+		for k := uint64(0); k < extra; k++ {
+			v++
+			out = append(out, v)
+		}
+		prev = v
+	}
+	return out, nil
+}
+
+// count reads a list length and bounds it by the remaining payload (every
+// element costs at least one byte).
+func (d *bdec) count() (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(d.rem()) || n > maxListElems {
+		return 0, fmt.Errorf("protocol: list of %d elements exceeds frame", n)
+	}
+	return int(n), nil
+}
+
+// checkBits rejects presence bits beyond what this decoder understands —
+// a frame from a future revision must fail loudly, not decode partially.
+func checkBits(bm uint64, n int, what string) error {
+	if bm>>uint(n) != 0 {
+		return fmt.Errorf("protocol: unknown %s field bit %d", what, bits.Len64(bm)-1)
+	}
+	return nil
+}
+
+// --- EditOp --------------------------------------------------------------
+
+func appendEditOp(b []byte, op *EditOp) []byte {
+	var bm uint64
+	if op.Kind != "" {
+		bm |= 1 << 0
+	}
+	if op.After != nil {
+		bm |= 1 << 1
+	}
+	if op.Prev {
+		bm |= 1 << 2
+	}
+	if op.Pos != 0 {
+		bm |= 1 << 3
+	}
+	if op.Text != "" {
+		bm |= 1 << 4
+	}
+	if op.N != 0 {
+		bm |= 1 << 5
+	}
+	if len(op.Chars) > 0 {
+		bm |= 1 << 6
+	}
+	if op.Span != "" {
+		bm |= 1 << 7
+	}
+	if op.Value != "" {
+		bm |= 1 << 8
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendSym(b, op.Kind)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendUvarint(b, *op.After)
+	}
+	if bm&(1<<3) != 0 {
+		b = appendZigzag(b, int64(op.Pos))
+	}
+	if bm&(1<<4) != 0 {
+		b = appendBytes(b, op.Text)
+	}
+	if bm&(1<<5) != 0 {
+		b = appendZigzag(b, int64(op.N))
+	}
+	if bm&(1<<6) != 0 {
+		b = appendIDList(b, op.Chars)
+	}
+	if bm&(1<<7) != 0 {
+		b = appendSym(b, op.Span)
+	}
+	if bm&(1<<8) != 0 {
+		b = appendBytes(b, op.Value)
+	}
+	return b
+}
+
+func (d *bdec) editOp(op *EditOp) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 9, "EditOp"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if op.Kind, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		v, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		op.After = &v
+	}
+	op.Prev = bm&(1<<2) != 0
+	if bm&(1<<3) != 0 {
+		if op.Pos, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<4) != 0 {
+		if op.Text, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<5) != 0 {
+		if op.N, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<6) != 0 {
+		if op.Chars, err = d.idList(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<7) != 0 {
+		if op.Span, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<8) != 0 {
+		if op.Value, err = d.str(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- EditResult ----------------------------------------------------------
+
+func appendEditResult(b []byte, r *EditResult) []byte {
+	var bm uint64
+	if r.OpID != 0 {
+		bm |= 1 << 0
+	}
+	if len(r.IDs) > 0 {
+		bm |= 1 << 1
+	}
+	if r.Span != 0 {
+		bm |= 1 << 2
+	}
+	if r.Pos != 0 {
+		bm |= 1 << 3
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendUvarint(b, r.OpID)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendIDList(b, r.IDs)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendUvarint(b, r.Span)
+	}
+	if bm&(1<<3) != 0 {
+		b = appendZigzag(b, int64(r.Pos))
+	}
+	return b
+}
+
+func (d *bdec) editResult(r *EditResult) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 4, "EditResult"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if r.OpID, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if r.IDs, err = d.idList(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if r.Span, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<3) != 0 {
+		if r.Pos, err = d.i(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- BatchItem / Event ---------------------------------------------------
+
+func appendBatchItem(b []byte, it *BatchItem) []byte {
+	var bm uint64
+	if it.Kind != "" {
+		bm |= 1 << 0
+	}
+	if it.Pos != 0 {
+		bm |= 1 << 1
+	}
+	if it.Text != "" {
+		bm |= 1 << 2
+	}
+	if it.N != 0 {
+		bm |= 1 << 3
+	}
+	if len(it.IDs) > 0 {
+		bm |= 1 << 4
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendSym(b, it.Kind)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendZigzag(b, int64(it.Pos))
+	}
+	if bm&(1<<2) != 0 {
+		b = appendBytes(b, it.Text)
+	}
+	if bm&(1<<3) != 0 {
+		b = appendZigzag(b, int64(it.N))
+	}
+	if bm&(1<<4) != 0 {
+		b = appendIDList(b, it.IDs)
+	}
+	return b
+}
+
+func (d *bdec) batchItem(it *BatchItem) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 5, "BatchItem"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if it.Kind, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if it.Pos, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if it.Text, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<3) != 0 {
+		if it.N, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<4) != 0 {
+		if it.IDs, err = d.idList(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendEvent(b []byte, ev *Event) []byte {
+	var bm uint64
+	if ev.Seq != 0 {
+		bm |= 1 << 0
+	}
+	if ev.Doc != 0 {
+		bm |= 1 << 1
+	}
+	if ev.Kind != "" {
+		bm |= 1 << 2
+	}
+	if ev.User != "" {
+		bm |= 1 << 3
+	}
+	if ev.Pos != 0 {
+		bm |= 1 << 4
+	}
+	if ev.Text != "" {
+		bm |= 1 << 5
+	}
+	if ev.N != 0 {
+		bm |= 1 << 6
+	}
+	if ev.Name != "" {
+		bm |= 1 << 7
+	}
+	if len(ev.Batch) > 0 {
+		bm |= 1 << 8
+	}
+	if ev.AtNS != 0 {
+		bm |= 1 << 9
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendUvarint(b, ev.Seq)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendUvarint(b, ev.Doc)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendSym(b, ev.Kind)
+	}
+	if bm&(1<<3) != 0 {
+		b = appendBytes(b, ev.User)
+	}
+	if bm&(1<<4) != 0 {
+		b = appendZigzag(b, int64(ev.Pos))
+	}
+	if bm&(1<<5) != 0 {
+		b = appendBytes(b, ev.Text)
+	}
+	if bm&(1<<6) != 0 {
+		b = appendZigzag(b, int64(ev.N))
+	}
+	if bm&(1<<7) != 0 {
+		b = appendBytes(b, ev.Name)
+	}
+	if bm&(1<<8) != 0 {
+		b = appendUvarint(b, uint64(len(ev.Batch)))
+		for i := range ev.Batch {
+			b = appendBatchItem(b, &ev.Batch[i])
+		}
+	}
+	if bm&(1<<9) != 0 {
+		b = appendZigzag(b, ev.AtNS)
+	}
+	return b
+}
+
+func (d *bdec) event(ev *Event) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 10, "Event"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if ev.Seq, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if ev.Doc, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if ev.Kind, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<3) != 0 {
+		if ev.User, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<4) != 0 {
+		if ev.Pos, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<5) != 0 {
+		if ev.Text, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<6) != 0 {
+		if ev.N, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<7) != 0 {
+		if ev.Name, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<8) != 0 {
+		n, err := d.count()
+		if err != nil {
+			return err
+		}
+		ev.Batch = make([]BatchItem, n)
+		for i := range ev.Batch {
+			if err := d.batchItem(&ev.Batch[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if bm&(1<<9) != 0 {
+		if ev.AtNS, err = d.zigzag(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Clip / DocInfo / Version / Presence / HistoryOp ---------------------
+
+func appendClip(b []byte, c *Clip) []byte {
+	var bm uint64
+	if c.Text != "" {
+		bm |= 1 << 0
+	}
+	if c.SrcDoc != 0 {
+		bm |= 1 << 1
+	}
+	if len(c.SrcChars) > 0 {
+		bm |= 1 << 2
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendBytes(b, c.Text)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendUvarint(b, c.SrcDoc)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendIDList(b, c.SrcChars)
+	}
+	return b
+}
+
+func (d *bdec) clip(c *Clip) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 3, "Clip"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if c.Text, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if c.SrcDoc, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if c.SrcChars, err = d.idList(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendDocInfo(b []byte, in *DocInfo) []byte {
+	var bm uint64
+	if in.ID != 0 {
+		bm |= 1 << 0
+	}
+	if in.Name != "" {
+		bm |= 1 << 1
+	}
+	if in.Creator != "" {
+		bm |= 1 << 2
+	}
+	if in.Size != 0 {
+		bm |= 1 << 3
+	}
+	if in.State != "" {
+		bm |= 1 << 4
+	}
+	if len(in.Authors) > 0 {
+		bm |= 1 << 5
+	}
+	if in.ModifiedNS != 0 {
+		bm |= 1 << 6
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendUvarint(b, in.ID)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendBytes(b, in.Name)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendBytes(b, in.Creator)
+	}
+	if bm&(1<<3) != 0 {
+		b = appendZigzag(b, int64(in.Size))
+	}
+	if bm&(1<<4) != 0 {
+		b = appendSym(b, in.State)
+	}
+	if bm&(1<<5) != 0 {
+		b = appendUvarint(b, uint64(len(in.Authors)))
+		for _, a := range in.Authors {
+			b = appendBytes(b, a)
+		}
+	}
+	if bm&(1<<6) != 0 {
+		b = appendZigzag(b, in.ModifiedNS)
+	}
+	return b
+}
+
+func (d *bdec) docInfo(in *DocInfo) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 7, "DocInfo"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if in.ID, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if in.Name, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if in.Creator, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<3) != 0 {
+		if in.Size, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<4) != 0 {
+		if in.State, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<5) != 0 {
+		n, err := d.count()
+		if err != nil {
+			return err
+		}
+		in.Authors = make([]string, n)
+		for i := range in.Authors {
+			if in.Authors[i], err = d.str(); err != nil {
+				return err
+			}
+		}
+	}
+	if bm&(1<<6) != 0 {
+		if in.ModifiedNS, err = d.zigzag(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendVersion(b []byte, v *Version) []byte {
+	var bm uint64
+	if v.ID != 0 {
+		bm |= 1 << 0
+	}
+	if v.Name != "" {
+		bm |= 1 << 1
+	}
+	if v.Author != "" {
+		bm |= 1 << 2
+	}
+	if v.AtNS != 0 {
+		bm |= 1 << 3
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendUvarint(b, v.ID)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendBytes(b, v.Name)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendBytes(b, v.Author)
+	}
+	if bm&(1<<3) != 0 {
+		b = appendZigzag(b, v.AtNS)
+	}
+	return b
+}
+
+func (d *bdec) version(v *Version) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 4, "Version"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if v.ID, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if v.Name, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if v.Author, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<3) != 0 {
+		if v.AtNS, err = d.zigzag(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendPresence(b []byte, p *Presence) []byte {
+	var bm uint64
+	if p.User != "" {
+		bm |= 1 << 0
+	}
+	if p.Cursor != 0 {
+		bm |= 1 << 1
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendBytes(b, p.User)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendZigzag(b, int64(p.Cursor))
+	}
+	return b
+}
+
+func (d *bdec) presence(p *Presence) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 2, "Presence"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if p.User, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if p.Cursor, err = d.i(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendHistoryOp(b []byte, h *HistoryOp) []byte {
+	var bm uint64
+	if h.ID != 0 {
+		bm |= 1 << 0
+	}
+	if h.User != "" {
+		bm |= 1 << 1
+	}
+	if h.Kind != "" {
+		bm |= 1 << 2
+	}
+	if h.Chars != 0 {
+		bm |= 1 << 3
+	}
+	if h.Undone {
+		bm |= 1 << 4
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendUvarint(b, h.ID)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendBytes(b, h.User)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendSym(b, h.Kind)
+	}
+	if bm&(1<<3) != 0 {
+		b = appendZigzag(b, int64(h.Chars))
+	}
+	return b
+}
+
+func (d *bdec) historyOp(h *HistoryOp) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 5, "HistoryOp"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if h.ID, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if h.User, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if h.Kind, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<3) != 0 {
+		if h.Chars, err = d.i(); err != nil {
+			return err
+		}
+	}
+	h.Undone = bm&(1<<4) != 0
+	return nil
+}
+
+// --- Message -------------------------------------------------------------
+
+// Message presence bits, in encode order. Hot-path fields sit in the low
+// bits so the common frames (edit request, ack, push) pay a 1–2 byte
+// bitmap.
+const (
+	mbType = iota // 0
+	mbID
+	mbOp
+	mbDoc
+	mbOK
+	mbSeq // 5
+	mbOps
+	mbResults
+	mbEvent
+	mbText
+	mbPos // 10
+	mbN
+	mbErr
+	mbOpID
+	mbSnap
+	mbIDs // 15
+	mbEvents
+	mbFull
+	mbSince
+	mbVer
+	mbUser // 20
+	mbPassword
+	mbName
+	mbKind
+	mbValue
+	mbScope // 25
+	mbClip
+	mbVersion
+	mbDocs
+	mbVersions
+	mbPresent // 30
+	mbHistory
+	mbCount // number of defined bits
+)
+
+// appendBinaryMessage packs m into b (the payload of one v3 frame).
+func appendBinaryMessage(b []byte, m *Message) []byte {
+	var bm uint64
+	set := func(cond bool, bit int) {
+		if cond {
+			bm |= 1 << uint(bit)
+		}
+	}
+	set(m.Type != "", mbType)
+	set(m.ID != 0, mbID)
+	set(m.Op != "", mbOp)
+	set(m.Doc != 0, mbDoc)
+	set(m.OK, mbOK)
+	set(m.Seq != 0, mbSeq)
+	set(len(m.Ops) > 0, mbOps)
+	set(len(m.Results) > 0, mbResults)
+	set(m.Event != nil, mbEvent)
+	set(m.Text != "", mbText)
+	set(m.Pos != 0, mbPos)
+	set(m.N != 0, mbN)
+	set(m.Err != "", mbErr)
+	set(m.OpID != 0, mbOpID)
+	set(m.Snap != 0, mbSnap)
+	set(len(m.IDs) > 0, mbIDs)
+	set(len(m.Events) > 0, mbEvents)
+	set(m.Full, mbFull)
+	set(m.Since != 0, mbSince)
+	set(m.Ver != 0, mbVer)
+	set(m.User != "", mbUser)
+	set(m.Password != "", mbPassword)
+	set(m.Name != "", mbName)
+	set(m.Kind != "", mbKind)
+	set(m.Value != "", mbValue)
+	set(m.Scope != "", mbScope)
+	set(m.Clip != nil, mbClip)
+	set(m.Version != 0, mbVersion)
+	set(len(m.Docs) > 0, mbDocs)
+	set(len(m.Versions) > 0, mbVersions)
+	set(len(m.Present) > 0, mbPresent)
+	set(len(m.History) > 0, mbHistory)
+
+	b = appendUvarint(b, bm)
+	has := func(bit int) bool { return bm&(1<<uint(bit)) != 0 }
+	if has(mbType) {
+		b = appendSym(b, m.Type)
+	}
+	if has(mbID) {
+		b = appendZigzag(b, m.ID)
+	}
+	if has(mbOp) {
+		b = appendSym(b, m.Op)
+	}
+	if has(mbDoc) {
+		b = appendUvarint(b, m.Doc)
+	}
+	if has(mbSeq) {
+		b = appendUvarint(b, m.Seq)
+	}
+	if has(mbOps) {
+		b = appendUvarint(b, uint64(len(m.Ops)))
+		for i := range m.Ops {
+			b = appendEditOp(b, &m.Ops[i])
+		}
+	}
+	if has(mbResults) {
+		b = appendUvarint(b, uint64(len(m.Results)))
+		for i := range m.Results {
+			b = appendEditResult(b, &m.Results[i])
+		}
+	}
+	if has(mbEvent) {
+		b = appendEvent(b, m.Event)
+	}
+	if has(mbText) {
+		b = appendBytes(b, m.Text)
+	}
+	if has(mbPos) {
+		b = appendZigzag(b, int64(m.Pos))
+	}
+	if has(mbN) {
+		b = appendZigzag(b, int64(m.N))
+	}
+	if has(mbErr) {
+		b = appendBytes(b, m.Err)
+	}
+	if has(mbOpID) {
+		b = appendUvarint(b, m.OpID)
+	}
+	if has(mbSnap) {
+		b = appendUvarint(b, m.Snap)
+	}
+	if has(mbIDs) {
+		b = appendIDList(b, m.IDs)
+	}
+	if has(mbEvents) {
+		b = appendUvarint(b, uint64(len(m.Events)))
+		for i := range m.Events {
+			b = appendEvent(b, &m.Events[i])
+		}
+	}
+	if has(mbSince) {
+		b = appendUvarint(b, m.Since)
+	}
+	if has(mbVer) {
+		b = appendZigzag(b, int64(m.Ver))
+	}
+	if has(mbUser) {
+		b = appendBytes(b, m.User)
+	}
+	if has(mbPassword) {
+		b = appendBytes(b, m.Password)
+	}
+	if has(mbName) {
+		b = appendBytes(b, m.Name)
+	}
+	if has(mbKind) {
+		b = appendSym(b, m.Kind)
+	}
+	if has(mbValue) {
+		b = appendBytes(b, m.Value)
+	}
+	if has(mbScope) {
+		b = appendSym(b, m.Scope)
+	}
+	if has(mbClip) {
+		b = appendClip(b, m.Clip)
+	}
+	if has(mbVersion) {
+		b = appendUvarint(b, m.Version)
+	}
+	if has(mbDocs) {
+		b = appendUvarint(b, uint64(len(m.Docs)))
+		for i := range m.Docs {
+			b = appendDocInfo(b, &m.Docs[i])
+		}
+	}
+	if has(mbVersions) {
+		b = appendUvarint(b, uint64(len(m.Versions)))
+		for i := range m.Versions {
+			b = appendVersion(b, &m.Versions[i])
+		}
+	}
+	if has(mbPresent) {
+		b = appendUvarint(b, uint64(len(m.Present)))
+		for i := range m.Present {
+			b = appendPresence(b, &m.Present[i])
+		}
+	}
+	if has(mbHistory) {
+		b = appendUvarint(b, uint64(len(m.History)))
+		for i := range m.History {
+			b = appendHistoryOp(b, &m.History[i])
+		}
+	}
+	return b
+}
+
+// decodeBinaryMessage unpacks one v3 payload. Every length is validated
+// against the remaining bytes before allocation, so arbitrary input fails
+// cleanly instead of claiming memory.
+func decodeBinaryMessage(payload []byte) (*Message, error) {
+	d := &bdec{b: payload}
+	bm, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBits(bm, mbCount, "Message"); err != nil {
+		return nil, err
+	}
+	has := func(bit int) bool { return bm&(1<<uint(bit)) != 0 }
+	m := &Message{OK: has(mbOK), Full: has(mbFull)}
+	if has(mbType) {
+		if m.Type, err = d.sym(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbID) {
+		if m.ID, err = d.zigzag(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbOp) {
+		if m.Op, err = d.sym(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbDoc) {
+		if m.Doc, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbSeq) {
+		if m.Seq, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbOps) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Ops = make([]EditOp, n)
+		for i := range m.Ops {
+			if err := d.editOp(&m.Ops[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if has(mbResults) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Results = make([]EditResult, n)
+		for i := range m.Results {
+			if err := d.editResult(&m.Results[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if has(mbEvent) {
+		m.Event = &Event{}
+		if err := d.event(m.Event); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbText) {
+		if m.Text, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbPos) {
+		if m.Pos, err = d.i(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbN) {
+		if m.N, err = d.i(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbErr) {
+		if m.Err, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbOpID) {
+		if m.OpID, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbSnap) {
+		if m.Snap, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbIDs) {
+		if m.IDs, err = d.idList(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbEvents) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Events = make([]Event, n)
+		for i := range m.Events {
+			if err := d.event(&m.Events[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if has(mbSince) {
+		if m.Since, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbVer) {
+		if m.Ver, err = d.i(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbUser) {
+		if m.User, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbPassword) {
+		if m.Password, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbName) {
+		if m.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbKind) {
+		if m.Kind, err = d.sym(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbValue) {
+		if m.Value, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbScope) {
+		if m.Scope, err = d.sym(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbClip) {
+		m.Clip = &Clip{}
+		if err := d.clip(m.Clip); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbVersion) {
+		if m.Version, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbDocs) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Docs = make([]DocInfo, n)
+		for i := range m.Docs {
+			if err := d.docInfo(&m.Docs[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if has(mbVersions) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Versions = make([]Version, n)
+		for i := range m.Versions {
+			if err := d.version(&m.Versions[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if has(mbPresent) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Present = make([]Presence, n)
+		for i := range m.Present {
+			if err := d.presence(&m.Present[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if has(mbHistory) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.History = make([]HistoryOp, n)
+		for i := range m.History {
+			if err := d.historyOp(&m.History[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.rem() != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after message", d.rem())
+	}
+	return m, nil
+}
+
+// EncodeBinaryFrame renders m as one complete v3 binary frame (magic,
+// length prefix, payload) — the exact bytes a binary-mode Send writes.
+func EncodeBinaryFrame(m *Message) []byte {
+	payload := appendBinaryMessage(nil, m)
+	frame := make([]byte, 0, len(payload)+binary.MaxVarintLen64+1)
+	frame = append(frame, binMagic)
+	frame = appendUvarint(frame, uint64(len(payload)))
+	return append(frame, payload...)
+}
+
+// DecodeBinaryPayload unpacks the payload of one v3 frame (the bytes after
+// the magic and length prefix). Exposed for tests and fuzzing.
+func DecodeBinaryPayload(payload []byte) (*Message, error) {
+	return decodeBinaryMessage(payload)
+}

@@ -77,6 +77,77 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if !bytes.Equal(c1, c2) {
 			t.Fatalf("round-trip drift:\n first %s\n second %s", c1, c2)
 		}
+		// The same logical message must survive the v3 binary codec with
+		// an identical canonical form — a v3 server re-frames v2 batches
+		// without re-interpreting them, so the two encodings must agree on
+		// every message the JSON decoder accepts.
+		m3, err := decodeBinaryMessage(appendBinaryMessage(nil, m))
+		if err != nil {
+			t.Fatalf("binary re-encode of accepted frame failed: %v", err)
+		}
+		c3, err := json.Marshal(m3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c3) {
+			t.Fatalf("v3/v2 drift:\n json   %s\n binary %s", c1, c3)
+		}
+	})
+}
+
+// FuzzBinaryPayload feeds arbitrary bytes to the v3 binary decoder: it
+// must reject or accept cleanly (no panics, no unbounded allocation), and
+// everything it accepts must re-encode to a stable canonical form under
+// both the binary and the JSON codec.
+func FuzzBinaryPayload(f *testing.F) {
+	for _, s := range seedFrames {
+		var m Message
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(appendBinaryMessage(nil, &m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeBinaryMessage(payload)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted: binary round-trip must be idempotent...
+		m2, err := decodeBinaryMessage(appendBinaryMessage(nil, m))
+		if err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		c1, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := json.Marshal(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("binary round-trip drift:\n first %s\n second %s", c1, c2)
+		}
+		// ...and the JSON codec must agree on the canonical form.
+		var buf bytes.Buffer
+		out := NewCodec(rwc{Reader: &buf, Writer: &buf})
+		if err := out.Send(m); err != nil {
+			t.Fatalf("JSON re-encode of binary-accepted message failed: %v", err)
+		}
+		m4, err := out.Recv()
+		if err != nil {
+			t.Fatalf("JSON decode of binary-accepted message failed: %v", err)
+		}
+		c4, err := json.Marshal(m4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c4) {
+			t.Fatalf("v3→v2 drift:\n binary %s\n json   %s", c1, c4)
+		}
 	})
 }
 
@@ -102,6 +173,61 @@ func TestCodecSeedFramesRoundTrip(t *testing.T) {
 		c2, _ := json.Marshal(m2)
 		if !bytes.Equal(c1, c2) {
 			t.Fatalf("seed %q drifted: %s vs %s", s, c1, c2)
+		}
+	}
+}
+
+// TestBinarySeedFramesRoundTrip pins every seed frame through the v3
+// binary codec deterministically: JSON-decode, binary encode and decode,
+// and require the canonical forms to match — plus a framed pass through a
+// binary-enabled codec pair, with a JSON frame interleaved mid-stream to
+// pin the per-frame auto-detection.
+func TestBinarySeedFramesRoundTrip(t *testing.T) {
+	for _, s := range seedFrames {
+		var m Message
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := decodeBinaryMessage(appendBinaryMessage(nil, &m))
+		if err != nil {
+			t.Fatalf("seed %q binary round-trip: %v", s, err)
+		}
+		c1, _ := json.Marshal(&m)
+		c2, _ := json.Marshal(m2)
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("seed %q drifted under binary: %s vs %s", s, c1, c2)
+		}
+	}
+	// Framed: a binary sender and an auto-detecting receiver, with a JSON
+	// frame spliced between two binary ones on the same stream.
+	var buf bytes.Buffer
+	sender := NewCodec(rwc{Reader: &buf, Writer: &buf})
+	receiver := sender
+	sender.EnableBinary()
+	var want []string
+	for i, s := range seedFrames {
+		var m Message
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := json.Marshal(&m)
+		want = append(want, string(c))
+		if i == 3 {
+			buf.WriteString(s + "\n") // raw JSON line mid-stream
+			want = append(want, string(c))
+		}
+		if err := sender.Send(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		m, err := receiver.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		c, _ := json.Marshal(m)
+		if string(c) != w {
+			t.Fatalf("frame %d drifted: %s vs %s", i, c, w)
 		}
 	}
 }

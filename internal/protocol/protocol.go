@@ -11,10 +11,12 @@ package protocol
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Message type discriminators.
@@ -26,13 +28,18 @@ const (
 
 // Protocol versions. Version 1 is the original position-addressed,
 // one-request-per-edit protocol; version 2 adds the hello negotiation,
-// ID-anchored edit batches, anchor queries and delta resync. A connection
-// speaks v1 until a hello request negotiates something higher, so v1
-// clients keep working against a v2 server unchanged.
+// ID-anchored edit batches, anchor queries and delta resync; version 3
+// keeps v2's message vocabulary but packs every frame in the binary
+// encoding of binary.go (varint scalars, presence bitmaps, run-length
+// coded ID lists). A connection speaks v1 until a hello request negotiates
+// something higher, so v1/v2 clients keep working against a v3 server
+// unchanged, and a binary frame is only ever sent to a peer that asked
+// for v3.
 const (
 	Version1   = 1
 	Version2   = 2
-	VersionMax = Version2
+	Version3   = 3
+	VersionMax = Version3
 )
 
 // Operations.
@@ -249,12 +256,23 @@ type Message struct {
 	Event *Event `json:"event,omitempty"`
 }
 
-// Codec frames messages over a stream: one JSON document per line.
+// Codec frames messages over a stream. Outbound frames are JSON lines
+// until EnableBinary flips the codec to v3 binary frames; inbound frames
+// are auto-detected per frame by their first byte ('{' opens a JSON line,
+// 0xB3 a binary frame), which makes the v3 upgrade race-free — frames
+// serialized on either side of the hello exchange decode correctly
+// regardless of ordering.
 type Codec struct {
-	r  *bufio.Reader
-	w  *bufio.Writer
-	wm sync.Mutex
-	c  io.Closer
+	r       *bufio.Reader
+	w       *bufio.Writer
+	wm      sync.Mutex
+	c       io.Closer
+	bin     atomic.Bool
+	scratch []byte // binary encode buffer, owned by wm
+
+	// Optional wire accounting (tendaxd metrics): total payload bytes
+	// framed out and received in. Nil unless SetByteCounters was called.
+	nIn, nOut *atomic.Int64
 }
 
 // NewCodec wraps a connection.
@@ -266,8 +284,26 @@ func NewCodec(rw io.ReadWriteCloser) *Codec {
 	}
 }
 
+// EnableBinary switches outbound framing to v3 binary. Call only after a
+// hello exchange lands on Version3 or higher: the switch is what keeps the
+// "never send binary to a non-v3 peer" invariant.
+func (c *Codec) EnableBinary() { c.bin.Store(true) }
+
+// BinaryEnabled reports whether outbound frames are v3 binary.
+func (c *Codec) BinaryEnabled() bool { return c.bin.Load() }
+
+// SetByteCounters wires the codec's framed-bytes accounting to the given
+// counters (either may be nil). Counts cover full frames as written to and
+// read from the buffered stream.
+func (c *Codec) SetByteCounters(in, out *atomic.Int64) {
+	c.nIn, c.nOut = in, out
+}
+
 // Send writes one message (safe for concurrent use).
 func (c *Codec) Send(m *Message) error {
+	if c.bin.Load() {
+		return c.sendBinary(m)
+	}
 	data, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("protocol: marshal: %w", err)
@@ -280,20 +316,107 @@ func (c *Codec) Send(m *Message) error {
 	if err := c.w.WriteByte('\n'); err != nil {
 		return err
 	}
+	if c.nOut != nil {
+		c.nOut.Add(int64(len(data)) + 1)
+	}
 	return c.w.Flush()
 }
 
-// Recv reads the next message, blocking.
+// sendBinary frames m as magic + uvarint length + packed payload, reusing
+// the codec's scratch buffer so a steady edit stream encodes with zero
+// per-frame allocations.
+func (c *Codec) sendBinary(m *Message) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	c.scratch = appendBinaryMessage(c.scratch[:0], m)
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr[0] = binMagic
+	n := 1 + binary.PutUvarint(hdr[1:], uint64(len(c.scratch)))
+	if _, err := c.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return err
+	}
+	if c.nOut != nil {
+		c.nOut.Add(int64(n + len(c.scratch)))
+	}
+	return c.w.Flush()
+}
+
+// SendRaw writes one pre-encoded frame verbatim (safe for concurrent use).
+// The frame must be exactly what EncodeFrame produced for this peer's
+// protocol version — this is the fan-out path that lets the server encode
+// a pushed event once and share the bytes across every subscriber.
+func (c *Codec) SendRaw(frame []byte) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if _, err := c.w.Write(frame); err != nil {
+		return err
+	}
+	if c.nOut != nil {
+		c.nOut.Add(int64(len(frame)))
+	}
+	return c.w.Flush()
+}
+
+// EncodeFrame renders m as the exact frame bytes Send would write for a
+// peer of the given negotiated version: a newline-terminated JSON line for
+// v1/v2, a binary frame for v3+.
+func EncodeFrame(m *Message, ver int) ([]byte, error) {
+	if ver >= Version3 {
+		return EncodeBinaryFrame(m), nil
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: marshal: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Recv reads the next message, blocking. The frame kind is detected from
+// its first byte, so JSON and binary frames can interleave on one stream.
 func (c *Codec) Recv() (*Message, error) {
+	first, err := c.r.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] == binMagic {
+		return c.recvBinary()
+	}
 	line, err := c.r.ReadBytes('\n')
 	if err != nil {
 		return nil, err
+	}
+	if c.nIn != nil {
+		c.nIn.Add(int64(len(line)))
 	}
 	var m Message
 	if err := json.Unmarshal(line, &m); err != nil {
 		return nil, fmt.Errorf("protocol: unmarshal %q: %w", firstN(string(line), 80), err)
 	}
 	return &m, nil
+}
+
+func (c *Codec) recvBinary() (*Message, error) {
+	if _, err := c.r.Discard(1); err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBinaryFrame {
+		return nil, fmt.Errorf("protocol: binary frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, err
+	}
+	if c.nIn != nil {
+		c.nIn.Add(int64(n) + 2) // magic + ~1-byte length prefix
+	}
+	return decodeBinaryMessage(payload)
 }
 
 // Close tears the connection down.

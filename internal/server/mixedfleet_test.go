@@ -1,0 +1,106 @@
+// Mixed-fleet compatibility: one server simultaneously serving a v1
+// raw-wire client (never says hello, JSON frames), a v2 library client
+// (negotiated, JSON frames), and a v3 client (negotiated, binary frames)
+// on the same document. Every replica must converge byte-for-byte — the
+// binary codec is a per-connection framing choice, never a semantic fork.
+package server
+
+import (
+	"testing"
+	"time"
+
+	"tendax/internal/protocol"
+	"tendax/internal/util"
+)
+
+func TestMixedFleetConvergence(t *testing.T) {
+	addr, eng := harness(t, false)
+
+	// v1: raw wire, position-addressed ops, no hello.
+	w := dialV1(t, addr)
+	w.call(&protocol.Message{Op: protocol.OpLogin, User: "legacy"})
+	docID := w.call(&protocol.Message{Op: protocol.OpCreateDoc, Name: "fleet"}).Doc
+	w.call(&protocol.Message{Op: protocol.OpSubscribe, Doc: docID})
+
+	// v2: library client pinned to JSON framing.
+	c2 := login(t, addr, "modern", "")
+	if v, err := c2.HelloVer(protocol.Version2); err != nil || v != protocol.Version2 {
+		t.Fatalf("v2 hello: v%d, %v", v, err)
+	}
+	d2, err := c2.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v3: full negotiation, binary frames both ways from here on.
+	c3 := login(t, addr, "binary", "")
+	if v, err := c3.Hello(); err != nil || v != protocol.Version3 {
+		t.Fatalf("v3 hello: v%d, %v", v, err)
+	}
+	d3, err := c3.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleave edits from all three generations.
+	w.call(&protocol.Message{Op: protocol.OpInsert, Doc: docID, Pos: 0, Text: "[v1] "})
+	s2, err := d2.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := d3.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Ver() != protocol.Version2 || c3.Ver() != protocol.Version3 {
+		t.Fatalf("session renegotiated: v2 client at v%d, v3 client at v%d", c2.Ver(), c3.Ver())
+	}
+	for i := 0; i < 40; i++ {
+		if err := s2.Type("b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s3.Type("c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	w.call(&protocol.Message{Op: protocol.OpInsert, Doc: docID, Pos: 0, Text: "[v1 again] "})
+
+	// The engine's committed text is the truth every replica must reach.
+	doc, err := eng.OpenDocument(util.ID(docID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := doc.Text()
+	if len(want) != len("[v1] ")+len("[v1 again] ")+80 {
+		t.Fatalf("server text %q lost edits", want)
+	}
+
+	// v2 and v3 replicas converge from live pushes (JSON and binary
+	// framed respectively) — poll briefly, then compare byte-for-byte.
+	deadline := time.Now().Add(5 * time.Second)
+	for d2.Text() != want || d3.Text() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas diverged:\n server %q\n v2     %q\n v3     %q",
+				want, d2.Text(), d3.Text())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The v1 replica recovers via its documented full fetch.
+	if got := w.call(&protocol.Message{Op: protocol.OpText, Doc: docID}).Text; got != want {
+		t.Fatalf("v1 replica diverged:\n server %q\n v1     %q", want, got)
+	}
+
+	// And a v1 edit after all that still round-trips: the server never
+	// sends binary frames to a connection that did not negotiate v3.
+	w.call(&protocol.Message{Op: protocol.OpDelete, Doc: docID, Pos: 0, N: 5})
+	if got := w.call(&protocol.Message{Op: protocol.OpText, Doc: docID}).Text; got != want[5:] {
+		t.Fatalf("post-fleet v1 edit: %q", got)
+	}
+}

@@ -64,12 +64,39 @@ func TestHelloNegotiation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ver != protocol.Version2 || c.Ver() != protocol.Version2 {
+	if ver != protocol.Version3 || c.Ver() != protocol.Version3 {
 		t.Fatalf("negotiated %d (client %d)", ver, c.Ver())
 	}
 	// Idempotent.
-	if ver, err = c.Hello(); err != nil || ver != protocol.Version2 {
+	if ver, err = c.Hello(); err != nil || ver != protocol.Version3 {
 		t.Fatalf("re-hello: %v %d", err, ver)
+	}
+}
+
+func TestHelloVerPinsV2(t *testing.T) {
+	addr, _ := harness(t, false)
+	c := login(t, addr, "alice", "")
+	ver, err := c.HelloVer(protocol.Version2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != protocol.Version2 || c.Ver() != protocol.Version2 {
+		t.Fatalf("negotiated %d (client %d)", ver, c.Ver())
+	}
+	// The pinned connection must still edit fine over JSON frames.
+	id, err := c.CreateDocument("pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append("hello"); err != nil {
+		t.Fatal(err)
+	}
+	if text := d.Text(); text != "hello" {
+		t.Fatalf("text %q", text)
 	}
 }
 

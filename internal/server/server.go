@@ -14,16 +14,33 @@ import (
 
 	"tendax/internal/awareness"
 	"tendax/internal/core"
+	"tendax/internal/metrics"
 	"tendax/internal/protocol"
 	"tendax/internal/security"
 	"tendax/internal/util"
 	"tendax/internal/wal"
 )
 
+// Wire-frame cache keys for the awareness encode-once fan-out: v1 and v2
+// push identical JSON lines, so they share one cached frame; v3 peers share
+// the binary frame.
+const (
+	frameKeyJSON   = 2
+	frameKeyBinary = 3
+)
+
+func frameKeyFor(ver int) int {
+	if ver >= protocol.Version3 {
+		return frameKeyBinary
+	}
+	return frameKeyJSON
+}
+
 // Server hosts an engine on a TCP listener.
 type Server struct {
-	eng *core.Engine
-	sec *security.Store // nil = no authentication (trusted LAN demo mode)
+	eng     *core.Engine
+	sec     *security.Store // nil = no authentication (trusted LAN demo mode)
+	metrics *metrics.Metrics
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -38,12 +55,17 @@ type Server struct {
 // name without a password (the LAN-party demo configuration).
 func New(eng *core.Engine, sec *security.Store) *Server {
 	return &Server{
-		eng:   eng,
-		sec:   sec,
-		conns: make(map[*conn]bool),
-		logf:  log.Printf,
+		eng:     eng,
+		sec:     sec,
+		metrics: metrics.New(),
+		conns:   make(map[*conn]bool),
+		logf:    log.Printf,
 	}
 }
+
+// Metrics exposes the server's hot-path counters (tendaxd serves them on
+// the -pprof debug endpoint).
+func (s *Server) Metrics() *metrics.Metrics { return s.metrics }
 
 // SetLogf replaces the server's logger (tests silence it).
 func (s *Server) SetLogf(f func(string, ...interface{})) { s.logf = f }
@@ -89,6 +111,8 @@ func (s *Server) Serve() error {
 			lastInsert: make(map[util.ID]util.ID),
 			subs:       make(map[util.ID]*awareness.Subscription)}
 		c.ver.Store(protocol.Version1)
+		c.codec.SetByteCounters(&s.metrics.BytesIn, &s.metrics.BytesOut)
+		s.metrics.Conns.Add(1)
 		s.mu.Lock()
 		s.conns[c] = true
 		s.mu.Unlock()
@@ -124,6 +148,9 @@ func (s *Server) Close() error {
 
 func (s *Server) dropConn(c *conn) {
 	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		s.metrics.Conns.Add(-1)
+	}
 	delete(s.conns, c)
 	s.mu.Unlock()
 }
@@ -206,7 +233,12 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 	case protocol.OpHello:
 		// Version negotiation: the connection speaks the highest version
 		// both sides support. Clients that never say hello stay on v1 —
-		// the entire v1 surface keeps working regardless.
+		// the entire v1 surface keeps working regardless. Landing on v3
+		// flips this side's outbound framing to binary: the peer asked for
+		// it, and its receiver auto-detects per frame, so even the hello
+		// response itself may already be binary-framed. The switch is
+		// one-way — a later downgrade hello lowers the advertised version
+		// but the peer has proven it decodes binary.
 		ver := req.Ver
 		if ver > protocol.VersionMax {
 			ver = protocol.VersionMax
@@ -215,6 +247,9 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 			ver = protocol.Version1
 		}
 		c.ver.Store(int32(ver))
+		if ver >= protocol.Version3 {
+			c.codec.EnableBinary()
+		}
 		return &protocol.Message{OK: true, Ver: ver}
 	case protocol.OpEdit:
 		return c.editBatch(req)
@@ -498,8 +533,10 @@ func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
 			// whose documented recovery (resubscribe + resync) lands the
 			// replica on the committed state. The subscription itself
 			// stays live (the resubscribe deduplicates), so no event is
-			// lost around the resync.
-			if ev.Kind == awareness.EvBatch && c.ver.Load() < protocol.Version2 {
+			// lost around the resync. (This per-connection translation is
+			// deliberately uncached — it is not the shared event.)
+			ver := int(c.ver.Load())
+			if ev.Kind == awareness.EvBatch && ver < protocol.Version2 {
 				msg := &protocol.Message{
 					Type: protocol.TypePush,
 					Event: &protocol.Event{
@@ -513,11 +550,23 @@ func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
 				}
 				continue
 			}
-			msg := &protocol.Message{Type: protocol.TypePush, Event: wireEvent(&ev)}
-			if err := c.codec.Send(msg); err != nil {
+			// Encode-once fan-out: the first pump to push this event
+			// renders its wire frame — one JSON line shared by every
+			// v1/v2 subscriber, one binary frame shared by every v3
+			// subscriber — and all later pumps reuse the bytes.
+			frame, err := ev.Wire.Get(frameKeyFor(ver), func() ([]byte, error) {
+				return protocol.EncodeFrame(
+					&protocol.Message{Type: protocol.TypePush, Event: wireEvent(&ev)}, ver)
+			})
+			if err != nil {
 				c.close()
 				return
 			}
+			if err := c.codec.SendRaw(frame); err != nil {
+				c.close()
+				return
+			}
+			c.srv.metrics.Pushes.Add(1)
 		}
 		// The channel closed under us. If the bus cut the subscription
 		// because this connection lagged, the client still believes it is
@@ -615,6 +664,13 @@ func (c *conn) editBatch(req *protocol.Message) *protocol.Message {
 	results, lsn, err := d.ApplyAsync(c.user, ops)
 	if err != nil {
 		return fail(err)
+	}
+	c.srv.metrics.Batches.Add(1)
+	c.srv.metrics.Ops.Add(int64(len(ops)))
+	for i := range ops {
+		if ops[i].Kind == core.EditInsert {
+			c.srv.metrics.Keystrokes.Add(int64(len([]rune(ops[i].Text))))
+		}
 	}
 	for i := len(results) - 1; i >= 0; i-- {
 		if req.Ops[i].Kind == protocol.EditInsert && len(results[i].IDs) > 0 {

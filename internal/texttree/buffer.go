@@ -225,6 +225,104 @@ func (b *Buffer) InsertAfter(prev util.ID, ch Char) (updatedNext util.ID, err er
 	return next, nil
 }
 
+// InsertRun chains a run of characters, in order, immediately after prev
+// (NilID = front of document) and returns the neighbour whose Prev link
+// changed. It is InsertAfter batched: one contiguous insertion pays ONE
+// persistent-treap splice (split at the run's start rank, O(len) build of
+// the run, merge, two neighbour rewrites) instead of a root-to-leaf path
+// copy per character — the dominant allocation source of per-character
+// insertion. The run is copied into an internal block, so the caller's
+// slice is reusable immediately. On error the buffer is unchanged.
+func (b *Buffer) InsertRun(prev util.ID, run []Char) (updatedNext util.ID, err error) {
+	if len(run) == 0 {
+		return b.ChainSuccessor(prev), nil
+	}
+	if len(run) == 1 {
+		return b.InsertAfter(prev, run[0])
+	}
+	seen := make(map[util.ID]struct{}, len(run))
+	for i := range run {
+		id := run[i].ID
+		if _, dup := b.chars[id]; dup {
+			return util.NilID, fmt.Errorf("texttree: duplicate char %v", id)
+		}
+		if _, dup := seen[id]; dup {
+			return util.NilID, fmt.Errorf("texttree: duplicate char %v within run", id)
+		}
+		seen[id] = struct{}{}
+	}
+	var next util.ID
+	if prev.IsNil() {
+		next = b.head
+	} else {
+		p, ok := b.chars[prev]
+		if !ok {
+			return util.NilID, fmt.Errorf("%w: predecessor %v", ErrUnknownChar, prev)
+		}
+		next = p.Next
+	}
+	if !next.IsNil() {
+		if _, ok := b.chars[next]; !ok {
+			return util.NilID, fmt.Errorf("%w: successor %v", ErrUnknownChar, next)
+		}
+	}
+
+	// Validated; now mutate. One block holds every record of the run (the
+	// records are copy-on-write from here on, same as InsertAfter's).
+	block := make([]Char, len(run))
+	copy(block, run)
+	for i := range block {
+		if i == 0 {
+			block[i].Prev = prev
+		} else {
+			block[i].Prev = block[i-1].ID
+		}
+		if i == len(block)-1 {
+			block[i].Next = next
+		} else {
+			block[i].Next = block[i+1].ID
+		}
+	}
+	if prev.IsNil() {
+		b.head = block[0].ID
+	} else {
+		np := *b.chars[prev]
+		np.Next = block[0].ID
+		b.chars[prev] = &np
+	}
+	if !next.IsNil() {
+		nn := *b.chars[next]
+		nn.Prev = block[len(block)-1].ID
+		b.chars[next] = &nn
+	}
+	at := prev
+	for i := range block {
+		c := &block[i]
+		b.chars[c.ID] = c
+		b.order.InsertAfter(at, c.ID, !c.Deleted)
+		at = c.ID
+	}
+
+	// Mirror the whole run into the persistent treap with one splice.
+	r, _ := b.order.TotalRank(block[0].ID)
+	ptrs := make([]*Char, len(block))
+	for i := range block {
+		ptrs[i] = &block[i]
+	}
+	l, rest := psplit(b.proot, r)
+	b.proot = pmerge(pmerge(l, pbuild(ptrs)), rest)
+	if !prev.IsNil() {
+		pr, _ := b.order.TotalRank(prev)
+		b.proot = pset(b.proot, pr, b.chars[prev], b.order.Visible(prev))
+	}
+	if !next.IsNil() {
+		nr, _ := b.order.TotalRank(next)
+		b.proot = pset(b.proot, nr, b.chars[next], b.order.Visible(next))
+	}
+	b.version++
+	return next, nil
+}
+
 // Delete tombstones id (logical deletion). The chain is untouched.
 func (b *Buffer) Delete(id util.ID, by string, at time.Time) error {
 	ch, ok := b.chars[id]

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"tendax/internal/util"
 )
@@ -192,6 +193,12 @@ type Snapshot struct {
 	// instead, so span anchors keep resolving after compaction.
 	once  sync.Once
 	index map[util.ID]snapEntry
+
+	// Text() is memoised: a snapshot is immutable, so its visible text is
+	// rendered exactly once into a buffer sized up front and then shared by
+	// every open/resync/read that hits the same published version.
+	textOnce sync.Once
+	text     string
 }
 
 type snapEntry struct {
@@ -239,15 +246,19 @@ func (s *Snapshot) WalkVisible(fn func(ch *Char) bool) {
 	})
 }
 
-// Text returns the visible text of the snapshot.
+// Text returns the visible text of the snapshot. The first call renders
+// the text into a single pre-sized buffer; subsequent calls (and every
+// other reader of this published version) share the rendered string.
 func (s *Snapshot) Text() string {
-	var sb strings.Builder
-	sb.Grow(s.Len())
-	s.WalkVisible(func(ch *Char) bool {
-		sb.WriteRune(ch.Rune)
-		return true
+	s.textOnce.Do(func() {
+		buf := make([]byte, 0, s.Len())
+		s.WalkVisible(func(ch *Char) bool {
+			buf = utf8.AppendRune(buf, ch.Rune)
+			return true
+		})
+		s.text = string(buf)
 	})
-	return sb.String()
+	return s.text
 }
 
 // TextAt reconstructs the text as it was at instant t (time travel):
