@@ -1,4 +1,4 @@
-// Benchmarks regenerating the TeNDaX experiments (DESIGN.md §11): one
+// Benchmarks regenerating the TeNDaX experiments (DESIGN.md §12): one
 // benchmark per experiment E1–E10. cmd/tendax-bench prints the
 // corresponding human-readable tables; these give the testing.B numbers.
 package tendax_test

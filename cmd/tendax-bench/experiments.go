@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tendax/internal/awareness"
 	"tendax/internal/client"
 	"tendax/internal/core"
 	"tendax/internal/db"
@@ -1806,5 +1808,234 @@ func runE16(quick bool, _ string) error {
 		fmt.Println("             of the bytes, and the pooled/arena commit path keeps allocations per")
 		fmt.Println("             keystroke flat as batches grow.")
 	}
+	return nil
+}
+
+// E17 — Multi-tenant event stream under a connection storm.
+//
+// Phase A subscribes a large fleet (10k full, 500 quick) to ONE document
+// on the awareness bus with bounded queues and the shed-and-resync
+// overflow policy, then publishes a typing storm. Slow consumers overflow,
+// get a coalesced gap marker instead of a detach, and heal by replaying
+// the missed events from the retention ring — the experiment asserts that
+// a sample of replicas folding the (healed) stream reconverges
+// byte-for-byte with the committed text, and that per-subscriber memory
+// stayed bounded by the queue limit throughout.
+//
+// Phase B exercises the server-side rate limiter over TCP: a client
+// flooding past its token-bucket budget must receive the typed
+// "throttled" rejection with a positive retry-after hint, counted in the
+// server metrics, while the connection itself survives.
+func runE17(quick bool, _ string) error {
+	nSubs := 10000
+	storm := 2000
+	if quick {
+		nSubs = 500
+		storm = 600
+	}
+	const queueLimit = 64
+	const sampled = 16 // subscribers that maintain a full replica
+
+	eng, database, err := memEngine()
+	if err != nil {
+		return err
+	}
+	defer database.Close()
+
+	doc, err := eng.CreateDocument("storm", "e17")
+	if err != nil {
+		return err
+	}
+	bus := eng.Bus()
+	var shedCount, depthGauge atomic.Int64
+	bus.SetCounters(&shedCount, &depthGauge)
+
+	// The storm's edits, precomputed so the publisher loop is pure
+	// commit work: position i inserts one letter at a deterministic spot.
+	positions := make([]int, storm)
+	letters := make([]string, storm)
+	for i := range positions {
+		positions[i] = (i * 7919) % (i + 1) // pseudo-scatter, always in range
+		letters[i] = string(rune('a' + i%26))
+	}
+
+	var (
+		wg         sync.WaitGroup
+		delivered  atomic.Int64
+		healed     atomic.Int64
+		converged  atomic.Int64
+		notCovered atomic.Int64
+		maxDepth   atomic.Int64
+	)
+	before := bus.Seq(doc.ID())
+	target := before + uint64(storm)
+
+	subscriber := func(idx int, sub *awareness.Subscription) {
+		defer wg.Done()
+		defer sub.Close()
+		fold := idx < sampled
+		// A quarter of the fleet — including half the sampled replicas —
+		// consumes deliberately slowly, so queue overflow and ring healing
+		// are exercised at every storm scale, and the byte-for-byte
+		// convergence check covers subscribers that actually shed.
+		slow := idx%4 == 3 || idx < sampled/2
+		var replica []rune
+		apply := func(e *awareness.Event) {
+			delivered.Add(1)
+			if !fold || e.Kind != awareness.EvInsert {
+				return
+			}
+			pos := e.Pos
+			if pos > len(replica) {
+				pos = len(replica)
+			}
+			ins := []rune(e.Text)
+			replica = append(replica[:pos], append(ins, replica[pos:]...)...)
+		}
+		last := before
+		for last < target {
+			ev, ok := sub.Next()
+			if !ok {
+				return
+			}
+			if ev.Kind == awareness.EvGap {
+				evs, covered := bus.EventsSince(doc.ID(), last)
+				if !covered {
+					notCovered.Add(1)
+					return
+				}
+				for i := range evs {
+					if evs[i].Seq <= last {
+						continue
+					}
+					apply(&evs[i])
+					last = evs[i].Seq
+				}
+				healed.Add(1)
+				continue
+			}
+			if ev.Seq <= last {
+				continue
+			}
+			apply(&ev)
+			last = ev.Seq
+			if slow {
+				// Slower than any realistic publish interval: the queue
+				// must overflow, shed, and heal — that path is the point.
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		if d := int64(sub.MaxDepth()); d > maxDepth.Load() {
+			maxDepth.Store(d) // benign race: any observed max is ≤ queueLimit
+		}
+		if fold && string(replica) == doc.Text() {
+			converged.Add(1)
+		}
+	}
+
+	// Every subscriber is registered BEFORE the first storm event, so a
+	// replica that misses anything can only have missed it to a shed —
+	// which the heal path must repair.
+	subs := make([]*awareness.Subscription, nSubs)
+	for i := range subs {
+		subs[i] = bus.Subscribe(doc.ID(), awareness.SubscribeOpts{
+			QueueLimit:     queueLimit,
+			OverflowPolicy: awareness.ShedAndResync,
+		})
+	}
+	wg.Add(nSubs)
+	for i := range subs {
+		go subscriber(i, subs[i])
+	}
+	start := time.Now()
+	var lsn wal.LSN
+	for i := 0; i < storm; i++ {
+		if _, lsn, err = doc.InsertTextAsync("storm", positions[i], letters[i]); err != nil {
+			return err
+		}
+	}
+	if err := eng.WaitDurable(lsn); err != nil {
+		return err
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := notCovered.Load(); n > 0 {
+		return fmt.Errorf("e17: %d subscribers outran ring retention (storm %d vs retention %d)",
+			n, storm, awareness.DefaultRetention)
+	}
+	if got := converged.Load(); got != sampled {
+		return fmt.Errorf("e17: only %d/%d sampled replicas reconverged after shed+heal", got, sampled)
+	}
+	if maxDepth.Load() > queueLimit {
+		return fmt.Errorf("e17: queue depth %d exceeded limit %d", maxDepth.Load(), queueLimit)
+	}
+	if shedCount.Load() == 0 || healed.Load() == 0 {
+		return fmt.Errorf("e17: storm never exercised shed+heal (sheds %d, heals %d)",
+			shedCount.Load(), healed.Load())
+	}
+	fanout := float64(delivered.Load()) / elapsed.Seconds()
+
+	// --- Phase B: typed throttling over TCP. ---
+	srv := server.New(eng, nil)
+	srv.SetLogf(func(string, ...interface{}) {})
+	srv.SetRateLimit(25, 0) // 25 edit batches/s per connection, burst 50
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve() }()
+	defer func() { _ = srv.Close() }()
+
+	c, err := client.Dial(addr.String(), client.WithUser("flooder"))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	floodID, err := c.CreateDocument("e17-flood")
+	if err != nil {
+		return err
+	}
+	fd, err := c.Open(floodID)
+	if err != nil {
+		return err
+	}
+	throttles := 0
+	var retryHint time.Duration
+	for i := 0; i < 200 && throttles == 0; i++ {
+		err := fd.Append("z")
+		var th *client.ThrottledError
+		switch {
+		case err == nil:
+		case errors.As(err, &th):
+			throttles++
+			retryHint = th.RetryAfter
+		default:
+			return err
+		}
+	}
+	if throttles == 0 {
+		return fmt.Errorf("e17: 200 instant edits never throttled at 25 edits/s")
+	}
+	if retryHint <= 0 {
+		return fmt.Errorf("e17: throttled without a retry-after hint")
+	}
+	if srv.Metrics().Throttles.Load() == 0 {
+		return fmt.Errorf("e17: throttle rejections not counted in metrics")
+	}
+
+	fmt.Printf("  subscribers on one doc          %10d\n", nSubs)
+	fmt.Printf("  storm events published          %10d\n", storm)
+	fmt.Printf("  fan-out deliveries/sec          %10.0f\n", fanout)
+	fmt.Printf("  events shed (queue overflow)    %10d\n", shedCount.Load())
+	fmt.Printf("  gaps healed from ring           %10d\n", healed.Load())
+	fmt.Printf("  max queue depth (limit %3d)     %10d\n", queueLimit, maxDepth.Load())
+	fmt.Printf("  sampled replicas reconverged    %10d/%d\n", converged.Load(), sampled)
+	fmt.Printf("  throttle retry-after hint       %10s\n", retryHint)
+
+	emit("e17", "storm_subscribers", float64(nSubs), "subs", "higher")
+	emit("e17", "storm_fanout_per_sec", fanout, "ev/s", "higher")
+	emit("e17", "storm_max_queue_depth", float64(maxDepth.Load()), "events", "lower")
+	emit("e17", "storm_reconverged", 1.0, "bool", "higher")
+	emit("e17", "throttle_engaged", 1.0, "bool", "higher")
 	return nil
 }

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e16 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e17 or all)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast smoke run")
 	out := flag.String("out", "lineage.dot", "output path for the E6 lineage DOT file")
 	jsonOut := flag.String("json", "", "write machine-readable metrics of the experiments run to this file")
@@ -47,6 +47,7 @@ func main() {
 		{"e14", "Tombstone compaction and cold archive", runE14},
 		{"e15", "Protocol v2: batched pipelined editing and delta resync", runE15},
 		{"e16", "Binary wire codec (v3) and the allocation-lean commit path", runE16},
+		{"e17", "Multi-tenant event stream: shed-and-resync storm and typed throttling", runE17},
 	}
 	ran := 0
 	for _, r := range runs {

@@ -44,14 +44,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := client.Dial(*addr)
+	c, err := client.Dial(*addr,
+		client.WithUser(*user), client.WithPassword(*password))
 	if err != nil {
 		log.Fatalf("tendax: dial: %v", err)
 	}
 	defer c.Close()
-	if err := c.Login(*user, *password); err != nil {
-		log.Fatalf("tendax: login: %v", err)
-	}
 
 	if err := run(c, args); err != nil {
 		log.Fatalf("tendax: %v", err)

@@ -46,6 +46,12 @@ func main() {
 		"tombstones deleted more than this long ago are archived out of the hot structures")
 	opRing := flag.Int("op-ring", 0,
 		"per-document op-ring retention for protocol-v2 delta resync (0 = default 1024 events)")
+	rateLimit := flag.Float64("rate-limit", 0,
+		"edit batches per second allowed per connection before a typed throttle (0 = unlimited)")
+	subRateLimit := flag.Float64("sub-rate-limit", 0,
+		"subscribe operations per second allowed per connection (0 = unlimited)")
+	subQueue := flag.Int("sub-queue", 0,
+		"per-subscriber event queue bound; overflow sheds and heals via delta resync (0 = default 256)")
 	pprofAddr := flag.String("pprof", "",
 		"debug HTTP listen address for /debug/pprof/ and /metrics (empty = disabled)")
 	flag.Parse()
@@ -89,6 +95,12 @@ func main() {
 	}
 
 	srv := server.New(eng, sec)
+	if *rateLimit > 0 || *subRateLimit > 0 {
+		srv.SetRateLimit(*rateLimit, *subRateLimit)
+	}
+	if *subQueue > 0 {
+		srv.SetSubscriberQueue(*subQueue)
+	}
 	if *pprofAddr != "" {
 		// A dedicated mux rather than http.DefaultServeMux, so nothing an
 		// imported package registers globally leaks onto the debug port.

@@ -62,16 +62,14 @@ func BenchmarkE16BinaryCodec(b *testing.B) {
 
 	typing := func(b *testing.B, maxVer int) {
 		addr, _ := benchServer(b)
-		c, err := client.Dial(addr)
+		c, err := client.Dial(addr,
+			client.WithMaxVersion(maxVer), client.WithUser("u"))
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer c.Close()
-		if err := c.Login("u", ""); err != nil {
-			b.Fatal(err)
-		}
-		if ver, err := c.HelloVer(maxVer); err != nil || ver != maxVer {
-			b.Fatalf("hello: v%d, %v", ver, err)
+		if ver := c.Ver(); ver != maxVer {
+			b.Fatalf("hello: negotiated v%d, want v%d", ver, maxVer)
 		}
 		docID, err := c.CreateDocument("e16")
 		if err != nil {

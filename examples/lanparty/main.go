@@ -50,12 +50,11 @@ func main() {
 	fmt.Printf("server on %s\n", addr)
 
 	// The host creates the shared document.
-	host, err := client.Dial(addr.String())
+	host, err := client.Dial(addr.String(), client.WithUser("host"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer host.Close()
-	must(host.Login("host", ""))
 	docID, err := host.CreateDocument("lan-party")
 	must(err)
 	hostDoc, err := host.Open(docID)
@@ -69,16 +68,12 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			user := fmt.Sprintf("player%d", i)
-			c, err := client.Dial(addr.String())
+			c, err := client.Dial(addr.String(), client.WithUser(user))
 			if err != nil {
 				log.Printf("%s: %v", user, err)
 				return
 			}
 			defer c.Close()
-			if err := c.Login(user, ""); err != nil {
-				log.Printf("%s: %v", user, err)
-				return
-			}
 			d, err := c.Open(docID)
 			if err != nil {
 				log.Printf("%s: %v", user, err)

@@ -1,6 +1,7 @@
 package awareness
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -10,16 +11,16 @@ import (
 func TestPublishSubscribe(t *testing.T) {
 	bus := NewBus(8)
 	doc := util.ID(1)
-	sub := bus.Subscribe(doc)
+	sub := bus.Subscribe(doc, SubscribeOpts{})
 	defer sub.Close()
 
 	seq := bus.Publish(Event{Doc: doc, Kind: EvInsert, User: "alice", Text: "hi"})
 	if seq != 1 {
 		t.Fatalf("first seq = %d", seq)
 	}
-	ev := <-sub.C
-	if ev.Kind != EvInsert || ev.User != "alice" || ev.Seq != 1 {
-		t.Fatalf("event = %+v", ev)
+	ev, ok := sub.Next()
+	if !ok || ev.Kind != EvInsert || ev.User != "alice" || ev.Seq != 1 {
+		t.Fatalf("event = %+v ok=%v", ev, ok)
 	}
 }
 
@@ -39,12 +40,16 @@ func TestSequencePerDocument(t *testing.T) {
 func TestMultipleSubscribersAllReceive(t *testing.T) {
 	bus := NewBus(8)
 	doc := util.ID(3)
-	subs := []*Subscription{bus.Subscribe(doc), bus.Subscribe(doc), bus.Subscribe(doc)}
+	subs := []*Subscription{
+		bus.Subscribe(doc, SubscribeOpts{}),
+		bus.Subscribe(doc, SubscribeOpts{}),
+		bus.Subscribe(doc, SubscribeOpts{}),
+	}
 	bus.Publish(Event{Doc: doc, Kind: EvDelete, N: 2})
 	for i, s := range subs {
-		ev := <-s.C
-		if ev.Kind != EvDelete || ev.N != 2 {
-			t.Fatalf("subscriber %d got %+v", i, ev)
+		ev, ok := s.Next()
+		if !ok || ev.Kind != EvDelete || ev.N != 2 {
+			t.Fatalf("subscriber %d got %+v ok=%v", i, ev, ok)
 		}
 		s.Close()
 	}
@@ -53,24 +58,27 @@ func TestMultipleSubscribersAllReceive(t *testing.T) {
 func TestUnsubscribedReceivesNothing(t *testing.T) {
 	bus := NewBus(8)
 	doc := util.ID(4)
-	sub := bus.Subscribe(doc)
+	sub := bus.Subscribe(doc, SubscribeOpts{})
 	sub.Close()
 	bus.Publish(Event{Doc: doc, Kind: EvInsert})
-	if _, open := <-sub.C; open {
+	if _, ok := sub.Next(); ok {
 		t.Fatal("closed subscription received event")
 	}
 }
 
 func TestSlowSubscriberIsDetached(t *testing.T) {
-	bus := NewBus(2) // tiny buffer
+	bus := NewBus(2) // tiny queue
 	doc := util.ID(5)
-	sub := bus.Subscribe(doc)
+	sub := bus.Subscribe(doc, SubscribeOpts{})
 	for i := 0; i < 5; i++ {
 		bus.Publish(Event{Doc: doc, Kind: EvInsert})
 	}
-	// Drain whatever made it; the channel must be closed and Lagged true.
+	// Drain whatever made it; Next must report closure and Lagged true.
 	n := 0
-	for range sub.C {
+	for {
+		if _, ok := sub.Next(); !ok {
+			break
+		}
 		n++
 	}
 	if n > 2 {
@@ -81,6 +89,119 @@ func TestSlowSubscriberIsDetached(t *testing.T) {
 	}
 	// Publishing continues without the dead subscriber.
 	bus.Publish(Event{Doc: doc, Kind: EvInsert})
+}
+
+// A DetachLagged overflow must never lose events that were queued before
+// the overflow, even when the document's publisher and a concurrent Close
+// race the detach — the regression pinned here: the pre-overflow prefix
+// arrives in order, then Next reports closure, with Lagged sticky.
+func TestDetachKeepsPreOverflowOrdering(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		bus := NewBus(4)
+		doc := util.ID(8)
+		sub := bus.Subscribe(doc, SubscribeOpts{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				bus.Publish(Event{Doc: doc, Kind: EvInsert, Pos: i})
+			}
+		}()
+		if round%2 == 1 {
+			go sub.Close() // concurrent close racing the overflow detach
+		}
+		// 32 publishes against a queue of 4 guarantee the subscription is
+		// closed (by overflow detach or by the racing Close) before the
+		// drain below, so the loop always terminates.
+		wg.Wait()
+		var got []uint64
+		for {
+			ev, ok := sub.Next()
+			if !ok {
+				break
+			}
+			got = append(got, ev.Seq)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[i-1]+1 {
+				t.Fatalf("round %d: out-of-order drain %v", round, got)
+			}
+		}
+		if len(got) > 0 && got[0] != 1 {
+			t.Fatalf("round %d: first drained seq %d, lost the queued prefix", round, got[0])
+		}
+	}
+}
+
+func TestShedAndResyncCoalescesGap(t *testing.T) {
+	bus := NewBus(8)
+	doc := util.ID(9)
+	sub := bus.Subscribe(doc, SubscribeOpts{QueueLimit: 2, OverflowPolicy: ShedAndResync})
+	for i := 0; i < 10; i++ {
+		bus.Publish(Event{Doc: doc, Kind: EvInsert})
+	}
+	// The queue held 2, then overflowed: everything pending collapsed into
+	// one gap marker. Publishing continued behind it.
+	ev, ok := sub.Next()
+	if !ok || ev.Kind != EvGap {
+		t.Fatalf("first event after storm = %+v ok=%v", ev, ok)
+	}
+	if ev.N < 3 {
+		t.Fatalf("gap N = %d, want the shed count", ev.N)
+	}
+	if ev.Seq == 0 || ev.Seq > 10 {
+		t.Fatalf("gap seq = %d", ev.Seq)
+	}
+	if sub.Lagged() {
+		t.Fatal("shed subscription must stay attached, not lagged")
+	}
+	if sub.Sheds() == 0 {
+		t.Fatal("Sheds() did not count")
+	}
+	if sub.MaxDepth() > 2 {
+		t.Fatalf("queue exceeded its bound: %d", sub.MaxDepth())
+	}
+	// The ring covers the gap: EventsSince heals from the gap marker's seq.
+	evs, covered := bus.EventsSince(doc, ev.Seq)
+	if !covered {
+		t.Fatal("retention ring should cover a fresh gap")
+	}
+	last := ev.Seq
+	for _, e := range evs {
+		if e.Seq != last+1 {
+			t.Fatalf("heal not dense: %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+	if last != 10 {
+		t.Fatalf("healed to %d, want 10", last)
+	}
+	sub.Close()
+}
+
+func TestSubscribeFilterRedactsAndDrops(t *testing.T) {
+	bus := NewBus(8)
+	doc := util.ID(10)
+	sub := bus.Subscribe(doc, SubscribeOpts{
+		Filter: func(e Event) (Event, bool) {
+			if e.Kind == EvCursor {
+				return Event{}, false // suppress presence noise
+			}
+			e.Text = "xxx" // redact content
+			return e, true
+		},
+	})
+	defer sub.Close()
+	bus.Publish(Event{Doc: doc, Kind: EvCursor, Pos: 1})
+	bus.Publish(Event{Doc: doc, Kind: EvInsert, Text: "secret"})
+	ev, ok := sub.Next()
+	if !ok || ev.Kind != EvInsert {
+		t.Fatalf("filter did not drop cursor event: %+v", ev)
+	}
+	if ev.Text != "xxx" {
+		t.Fatalf("filter did not redact: %q", ev.Text)
+	}
 }
 
 func TestPresenceJoinLeaveCursor(t *testing.T) {
@@ -108,7 +229,7 @@ func TestPresenceJoinLeaveCursor(t *testing.T) {
 func TestPresenceEventsArePublished(t *testing.T) {
 	bus := NewBus(16)
 	doc := util.ID(7)
-	sub := bus.Subscribe(doc)
+	sub := bus.Subscribe(doc, SubscribeOpts{})
 	defer sub.Close()
 	now := time.Unix(1, 0)
 	bus.Join(doc, "alice", now)
@@ -116,7 +237,10 @@ func TestPresenceEventsArePublished(t *testing.T) {
 	bus.Leave(doc, "alice", now)
 	kinds := []EventKind{}
 	for i := 0; i < 3; i++ {
-		ev := <-sub.C
+		ev, ok := sub.Next()
+		if !ok {
+			t.Fatalf("subscription closed after %d events", i)
+		}
 		kinds = append(kinds, ev.Kind)
 	}
 	want := []EventKind{EvJoin, EvCursor, EvLeave}

@@ -27,6 +27,18 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return e.Msg }
 
+// ThrottledError is the server's typed rate-limit rejection: the request
+// was not processed, the connection is alive, and retrying after
+// RetryAfter is expected to succeed. Detect it with errors.As.
+type ThrottledError struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("%s (retry after %v)", e.Msg, e.RetryAfter)
+}
+
 // Client is one editor connection to a TeNDaX server.
 type Client struct {
 	codec  *protocol.Codec
@@ -41,8 +53,47 @@ type Client struct {
 	readErr error
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
+// Option configures a Dial. Options execute their protocol steps (version
+// negotiation, then login) in a fixed order after the connection is
+// established, regardless of the order they are passed in.
+type Option func(*dialConfig)
+
+type dialConfig struct {
+	maxVersion int // 0 = no negotiation, stay on v1
+	user       string
+	password   string
+	login      bool
+}
+
+// WithMaxVersion negotiates the protocol during Dial, upgrading the
+// connection to at most max (use protocol.VersionMax for "highest both
+// sides speak"). Without this option the connection stays on v1 until an
+// explicit Hello.
+func WithMaxVersion(max int) Option {
+	return func(cfg *dialConfig) { cfg.maxVersion = max }
+}
+
+// WithUser logs in as user during Dial (empty password unless WithPassword
+// is also given). Dial fails — and closes the connection — if the login is
+// rejected.
+func WithUser(user string) Option {
+	return func(cfg *dialConfig) { cfg.user, cfg.login = user, true }
+}
+
+// WithPassword sets the password for WithUser's login.
+func WithPassword(password string) Option {
+	return func(cfg *dialConfig) { cfg.password = password }
+}
+
+// Dial connects to a server and runs the configured handshake: version
+// negotiation first (WithMaxVersion), then login (WithUser/WithPassword).
+// With no options it returns a raw v1 connection, exactly as before the
+// options existed.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -54,6 +105,20 @@ func Dial(addr string) (*Client, error) {
 		docs:    make(map[uint64]*Doc),
 	}
 	go c.readLoop()
+	// WithMaxVersion(protocol.Version1) means "pin to v1" — no hello at
+	// all, since HelloVer's floor would negotiate v2.
+	if cfg.maxVersion >= protocol.Version2 {
+		if _, err := c.HelloVer(cfg.maxVersion); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if cfg.login {
+		if err := c.Login(cfg.user, cfg.password); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -143,6 +208,10 @@ func await(ch <-chan *protocol.Message) (*protocol.Message, error) {
 		return nil, ErrClosed
 	}
 	if resp.Err != "" {
+		if resp.Code == protocol.ErrThrottled {
+			return nil, &ThrottledError{Msg: resp.Err,
+				RetryAfter: time.Duration(resp.RetryMS) * time.Millisecond}
+		}
 		return nil, &RemoteError{Msg: resp.Err}
 	}
 	return resp, nil
@@ -164,6 +233,9 @@ func (c *Client) call(req *protocol.Message) (*protocol.Message, error) {
 // server. Idempotent after the first successful negotiation. Negotiating
 // Version3 or later switches the connection's outbound framing to the
 // binary codec (inbound frames are auto-detected per frame either way).
+//
+// Deprecated: pass WithMaxVersion(protocol.VersionMax) to Dial instead;
+// Hello remains for connections that must negotiate after other traffic.
 func (c *Client) Hello() (int, error) { return c.HelloVer(protocol.VersionMax) }
 
 // HelloVer is Hello with a client-side ceiling: the connection is upgraded
@@ -171,6 +243,8 @@ func (c *Client) Hello() (int, error) { return c.HelloVer(protocol.VersionMax) }
 // version (benchmarks and compatibility tests pin v2 this way). The first
 // successful negotiation is final — a later Hello or HelloVer returns the
 // already-negotiated version rather than re-upgrading a pinned connection.
+//
+// Deprecated: pass WithMaxVersion(max) to Dial instead.
 func (c *Client) HelloVer(max int) (int, error) {
 	if max < protocol.Version2 {
 		max = protocol.Version2

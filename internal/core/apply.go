@@ -640,6 +640,7 @@ func (d *Document) publishBatchLocked(user string, st *batchState, items []aware
 		ev.Pos = it.Pos
 		ev.Text = it.Text
 		ev.N = it.N
+		ev.IDs = it.IDs
 	} else {
 		ev.Kind = awareness.EvBatch
 		ev.Batch = items

@@ -86,7 +86,7 @@ func TestApplyBatchOneEvent(t *testing.T) {
 	if _, err := d.InsertText("alice", 0, "base"); err != nil {
 		t.Fatal(err)
 	}
-	sub := e.Bus().Subscribe(d.ID())
+	sub := e.Bus().Subscribe(d.ID(), awareness.SubscribeOpts{})
 	defer sub.Close()
 
 	// A multi-op batch publishes exactly ONE event, kind batch, whose
@@ -98,7 +98,7 @@ func TestApplyBatchOneEvent(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	ev := <-sub.C
+	ev, _ := sub.Next()
 	if ev.Kind != awareness.EvBatch {
 		t.Fatalf("kind %q", ev.Kind)
 	}
@@ -118,17 +118,15 @@ func TestApplyBatchOneEvent(t *testing.T) {
 	if got, want := string(runes), d.Text(); got != want {
 		t.Fatalf("replayed %q, committed %q", got, want)
 	}
-	select {
-	case extra := <-sub.C:
-		t.Fatalf("second event %v for one batch", extra.Kind)
-	default:
+	if depth := sub.Depth(); depth != 0 {
+		t.Fatalf("%d extra events queued for one batch", depth)
 	}
 
 	// A single-op batch keeps the legacy event kind.
 	if _, err := d.Apply("alice", []EditOp{{Kind: EditInsert, Pos: 0, Text: "q"}}); err != nil {
 		t.Fatal(err)
 	}
-	ev = <-sub.C
+	ev, _ = sub.Next()
 	if ev.Kind != awareness.EvInsert || ev.Pos != 0 || ev.Text != "q" {
 		t.Fatalf("legacy event %+v", ev)
 	}

@@ -469,16 +469,16 @@ func TestReadEventsAndProperties(t *testing.T) {
 func TestAwarenessEventsOnCommit(t *testing.T) {
 	e := newEngine(t)
 	d, _ := e.CreateDocument("alice", "live")
-	sub := e.Bus().Subscribe(d.ID())
+	sub := e.Bus().Subscribe(d.ID(), awareness.SubscribeOpts{})
 	defer sub.Close()
 	d.InsertText("alice", 0, "hi")
 	d.DeleteRange("alice", 0, 1)
 
-	ev1 := <-sub.C
+	ev1, _ := sub.Next()
 	if ev1.Kind != awareness.EvInsert || ev1.Text != "hi" || ev1.Pos != 0 {
 		t.Fatalf("ev1 = %+v", ev1)
 	}
-	ev2 := <-sub.C
+	ev2, _ := sub.Next()
 	if ev2.Kind != awareness.EvDelete || ev2.N != 1 {
 		t.Fatalf("ev2 = %+v", ev2)
 	}

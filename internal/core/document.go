@@ -385,7 +385,7 @@ func (d *Document) insertAsync(user string, pos int, text, kind string, srcDoc u
 	}
 	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: evKind, User: user, OpID: opID,
-		Pos: pos, Text: text, N: len(runes), At: now,
+		Pos: pos, Text: text, N: len(runes), IDs: ids, At: now,
 	})
 	return opID, lsn, nil
 }

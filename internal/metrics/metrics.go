@@ -24,6 +24,10 @@ type Metrics struct {
 	BytesIn    Counter // wire bytes received, framed
 	BytesOut   Counter // wire bytes sent, framed
 	Conns      Counter // currently connected editors (gauge)
+	Sheds      Counter // events dropped by overflowing subscriber queues
+	Throttles  Counter // requests rejected by the rate limiter
+	QueueDepth Counter // events queued across all subscribers (gauge)
+	Heals      Counter // shed gaps healed from the retention ring
 
 	mu          sync.Mutex
 	start       time.Time
@@ -63,6 +67,10 @@ type snapshot struct {
 	BytesIn    int64   `json:"bytes_in"`
 	BytesOut   int64   `json:"bytes_out"`
 	Conns      int64   `json:"conns"`
+	Sheds      int64   `json:"sheds"`
+	Throttles  int64   `json:"throttles"`
+	QueueDepth int64   `json:"queue_depth"`
+	Heals      int64   `json:"heals"`
 
 	// Derived over the window since the previous scrape.
 	WindowSec       float64 `json:"window_sec"`
@@ -98,6 +106,10 @@ func (m *Metrics) Handler() http.Handler {
 			BytesIn:         m.BytesIn.Load(),
 			BytesOut:        m.BytesOut.Load(),
 			Conns:           m.Conns.Load(),
+			Sheds:           m.Sheds.Load(),
+			Throttles:       m.Throttles.Load(),
+			QueueDepth:      m.QueueDepth.Load(),
+			Heals:           m.Heals.Load(),
 			WindowSec:       window.Seconds(),
 			WindowedBatches: dBatches,
 		}

@@ -73,6 +73,10 @@ func init() {
 		"security", "join", "leave", "cursor", "rename", "resync")
 	add(ScopeLocal, ScopeGlobal)
 	add("draft", "review", "final")
+	// Appended in protocol v3.1 (typed error codes). The table is
+	// append-only: new symbols go after every existing one so older
+	// encoders' indices stay valid.
+	add(ErrThrottled)
 }
 
 // --- primitive append helpers -------------------------------------------
@@ -990,7 +994,9 @@ const (
 	mbVersions
 	mbPresent // 30
 	mbHistory
-	mbCount // number of defined bits
+	mbCode    // machine-readable error code (typed errors)
+	mbRetryMS // throttle backoff hint
+	mbCount   // number of defined bits
 )
 
 // appendBinaryMessage packs m into b (the payload of one v3 frame).
@@ -1033,6 +1039,8 @@ func appendBinaryMessage(b []byte, m *Message) []byte {
 	set(len(m.Versions) > 0, mbVersions)
 	set(len(m.Present) > 0, mbPresent)
 	set(len(m.History) > 0, mbHistory)
+	set(m.Code != "", mbCode)
+	set(m.RetryMS != 0, mbRetryMS)
 
 	b = appendUvarint(b, bm)
 	has := func(bit int) bool { return bm&(1<<uint(bit)) != 0 }
@@ -1146,6 +1154,12 @@ func appendBinaryMessage(b []byte, m *Message) []byte {
 		for i := range m.History {
 			b = appendHistoryOp(b, &m.History[i])
 		}
+	}
+	if has(mbCode) {
+		b = appendSym(b, m.Code)
+	}
+	if has(mbRetryMS) {
+		b = appendZigzag(b, m.RetryMS)
 	}
 	return b
 }
@@ -1363,6 +1377,16 @@ func decodeBinaryMessage(payload []byte) (*Message, error) {
 			if err := d.historyOp(&m.History[i]); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if has(mbCode) {
+		if m.Code, err = d.sym(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbRetryMS) {
+		if m.RetryMS, err = d.zigzag(); err != nil {
+			return nil, err
 		}
 	}
 	if d.rem() != 0 {

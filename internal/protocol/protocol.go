@@ -86,6 +86,11 @@ const (
 // carries the document's current sequence number, making the gap visible.
 const EvLagged = "lagged"
 
+// ErrThrottled is the machine-readable Code of a response rejected by the
+// server's rate limiter. The response's RetryMS carries the earliest
+// backoff, in milliseconds, after which retrying can succeed.
+const ErrThrottled = "throttled"
+
 // Edit-op kinds carried inside an OpEdit batch.
 const (
 	EditInsert = "insert"
@@ -228,10 +233,16 @@ type Message struct {
 	Since    uint64   `json:"since,omitempty"` // resync: last applied sequence number
 
 	// Response fields.
-	OK   bool   `json:"ok,omitempty"`
-	Err  string `json:"err,omitempty"`
-	Seq  uint64 `json:"seq,omitempty"`
-	OpID uint64 `json:"opId,omitempty"`
+	OK  bool   `json:"ok,omitempty"`
+	Err string `json:"err,omitempty"`
+	// Code is the machine-readable class of Err (e.g. ErrThrottled);
+	// empty for errors predating typed codes.
+	Code string `json:"code,omitempty"`
+	// RetryMS is the backoff hint accompanying a throttled Code, in
+	// milliseconds.
+	RetryMS int64  `json:"retryMs,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	OpID    uint64 `json:"opId,omitempty"`
 	// Snap is the MVCC snapshot version the returned Text was read from:
 	// within one server process it increases monotonically with every
 	// committed text mutation of the document, so a client can tell which

@@ -436,6 +436,52 @@ func (s *Store) ReadableMask(user string, doc util.ID, ids []util.ID) []bool {
 	return mask
 }
 
+// ReadVisibility classifies what user may see of doc's character stream:
+// 0 means the user is subject to no range deny-read rule (the common case
+// — full visibility), and any other value is a fingerprint of the exact
+// set of range rules that apply to the user. Two users with the same
+// class see the same redaction of every event, which is what lets the
+// server share one encoded wire frame per (protocol family, class)
+// instead of re-encoding per subscriber. The class changes when the
+// document's ACLs change (an EvSecurity event marks the moment).
+func (s *Store) ReadVisibility(user string, doc util.ID) uint64 {
+	info, err := s.eng.DocInfoByID(doc)
+	if err == nil && info.Creator == user {
+		return 0 // creator reads everything
+	}
+	acls, err := s.ACLs(doc)
+	if err != nil {
+		// Fail closed: an unreadable ACL table must not alias the
+		// all-visible class.
+		return 1
+	}
+	principals := s.principalsOf(user)
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	applied := false
+	for _, a := range acls {
+		if a.Allow || a.Right != core.RRead || a.Start.IsNil() {
+			continue
+		}
+		if !principals[a.Principal] {
+			continue
+		}
+		applied = true
+		for _, v := range []uint64{uint64(a.ID), uint64(a.Start), uint64(a.End)} {
+			for i := 0; i < 8; i++ {
+				h ^= (v >> (8 * i)) & 0xff
+				h *= 1099511628211
+			}
+		}
+	}
+	if !applied {
+		return 0
+	}
+	if h == 0 {
+		h = 1 // reserve 0 for "no masking applies"
+	}
+	return h
+}
+
 // Session is an authenticated user session.
 type Session struct {
 	Token   string

@@ -6,10 +6,13 @@
 package server
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"tendax/internal/core"
 	"tendax/internal/protocol"
+	"tendax/internal/security"
 	"tendax/internal/util"
 )
 
@@ -102,5 +105,194 @@ func TestMixedFleetConvergence(t *testing.T) {
 	w.call(&protocol.Message{Op: protocol.OpDelete, Doc: docID, Pos: 0, N: 5})
 	if got := w.call(&protocol.Message{Op: protocol.OpText, Doc: docID}).Text; got != want[5:] {
 		t.Fatalf("post-fleet v1 edit: %q", got)
+	}
+}
+
+// TestCrossTenantRedactionAcrossProtocols pins the multi-tenant isolation
+// contract on every event channel and protocol generation: a user under a
+// range deny-read rule must never observe the denied characters — not in
+// live pushes (v1 JSON, v2 JSON, v3 binary), not in EvBatch items, not in
+// a "resync sinceSeq" replay — while unrestricted subscribers keep seeing
+// the unredacted stream (i.e. the per-class wire cache never serves a
+// masked frame to an all-visible connection, or vice versa).
+func TestCrossTenantRedactionAcrossProtocols(t *testing.T) {
+	addr, eng, store := harnessStore(t, true)
+
+	alice := login(t, addr, "alice", "pw-a")
+	if _, err := alice.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	docID, err := alice.CreateDocument("tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := alice.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Insert(0, "public SECRET public"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hide "SECRET" (chars 7..12) from bob by character-identity range.
+	d, err := eng.OpenDocument(util.ID(docID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := d.RangeMeta(7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.DenyRange("alice", d.ID(), security.UserPrefix+"bob",
+		core.RRead, metas[0].ID, metas[len(metas)-1].ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw-wire subscribers, so every received frame is inspectable: bob at
+	// each protocol generation, plus an unrestricted alice observer.
+	subscribe := func(user, pw string, ver int) *v1Wire {
+		w := dialV1(t, addr)
+		w.call(&protocol.Message{Op: protocol.OpLogin, User: user, Password: pw})
+		if ver >= protocol.Version2 {
+			if got := w.call(&protocol.Message{Op: protocol.OpHello, Ver: ver}).Ver; got != ver {
+				t.Fatalf("hello: negotiated v%d, want v%d", got, ver)
+			}
+			if ver >= protocol.Version3 {
+				w.codec.EnableBinary()
+			}
+		}
+		w.call(&protocol.Message{Op: protocol.OpSubscribe, Doc: docID})
+		return w
+	}
+	bob1 := subscribe("bob", "pw-b", protocol.Version1)
+	bob2 := subscribe("bob", "pw-b", protocol.Version2)
+	bob3 := subscribe("bob", "pw-b", protocol.Version3)
+	aobs := subscribe("alice", "pw-a", protocol.Version2)
+
+	// Anchors resolved before the edits move positions around.
+	inSecret, err := ad.Anchors(9, 1) // a char inside the denied range
+	if err != nil {
+		t.Fatal(err)
+	}
+	atEnd, err := ad.Anchors(19, 1) // the public last char
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three leak channels: a single insert into the denied range, a batch
+	// with one item inside and one outside it, and a note whose body
+	// quotes the secret (no character identities — fail-closed masking).
+	if err := ad.Insert(10, "XX"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.EditBatch([]protocol.EditOp{
+		{Kind: "insert", After: &inSecret[0], Text: "ZZ"},
+		{Kind: "insert", After: &atEnd[0], Text: " tail"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Note(2, "note quoting SECRET"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain every subscriber until it has seen the last committed event.
+	wantSeq := eng.Bus().Seq(util.ID(docID))
+	drain := func(w *v1Wire) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			w.call(&protocol.Message{Op: protocol.OpPresence, Doc: docID})
+			var max uint64
+			for _, ev := range w.pushes {
+				if ev.Seq > max {
+					max = ev.Seq
+				}
+			}
+			if max >= wantSeq {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("subscriber stuck at seq %d, want %d", max, wantSeq)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	drain(bob1)
+	drain(bob2)
+	drain(bob3)
+	drain(aobs)
+
+	// eventTexts flattens everything text-like a subscriber received.
+	eventTexts := func(evs []*protocol.Event) string {
+		var sb strings.Builder
+		for _, ev := range evs {
+			sb.WriteString(ev.Text)
+			sb.WriteByte('\n')
+			for _, it := range ev.Batch {
+				sb.WriteString(it.Text)
+				sb.WriteByte('\n')
+			}
+		}
+		return sb.String()
+	}
+	for name, w := range map[string]*v1Wire{"v1": bob1, "v2": bob2, "v3": bob3} {
+		got := eventTexts(w.pushes)
+		for _, secret := range []string{"SECRET", "XX", "ZZ"} {
+			if strings.Contains(got, secret) {
+				t.Fatalf("bob/%s pushes leaked %q:\n%s", name, secret, got)
+			}
+		}
+		if !strings.ContainsRune(got, '█') {
+			t.Fatalf("bob/%s saw no masked pushes at all:\n%s", name, got)
+		}
+	}
+	// The public batch item arrives unredacted for batch-capable bobs…
+	for name, w := range map[string]*v1Wire{"v2": bob2, "v3": bob3} {
+		if got := eventTexts(w.pushes); !strings.Contains(got, " tail") {
+			t.Fatalf("bob/%s over-masked the public batch item:\n%s", name, got)
+		}
+	}
+	// …and the unrestricted observer sees everything unredacted.
+	aliceGot := eventTexts(aobs.pushes)
+	for _, want := range []string{"XX", "ZZ", " tail", "note quoting SECRET"} {
+		if !strings.Contains(aliceGot, want) {
+			t.Fatalf("alice observer missing %q:\n%s", want, aliceGot)
+		}
+	}
+	if strings.ContainsRune(aliceGot, '█') {
+		t.Fatalf("all-visible subscriber received a masked frame:\n%s", aliceGot)
+	}
+
+	// Delta-resync replay: the full history since seq 0 must come back
+	// redacted for bob (including the pre-subscription "SECRET" insert)
+	// and unredacted for alice, on the same ring.
+	for name, w := range map[string]*v1Wire{"v2": bob2, "v3": bob3} {
+		resp := w.call(&protocol.Message{Op: protocol.OpResync, Doc: docID, Since: 0})
+		if resp.Full || len(resp.Events) == 0 {
+			t.Fatalf("bob/%s resync fell back to full text (events=%d)", name, len(resp.Events))
+		}
+		evs := make([]*protocol.Event, len(resp.Events))
+		for i := range resp.Events {
+			evs[i] = &resp.Events[i]
+		}
+		got := eventTexts(evs)
+		for _, secret := range []string{"SECRET", "XX", "ZZ"} {
+			if strings.Contains(got, secret) {
+				t.Fatalf("bob/%s resync replay leaked %q:\n%s", name, secret, got)
+			}
+		}
+		if !strings.Contains(got, "public ") {
+			t.Fatalf("bob/%s resync replay over-masked public text:\n%s", name, got)
+		}
+	}
+	aresp := aobs.call(&protocol.Message{Op: protocol.OpResync, Doc: docID, Since: 0})
+	if aresp.Full {
+		t.Fatal("alice resync fell back to full text")
+	}
+	var asb strings.Builder
+	for i := range aresp.Events {
+		asb.WriteString(aresp.Events[i].Text)
+	}
+	if !strings.Contains(asb.String(), "SECRET") {
+		t.Fatalf("alice resync replay redacted for the wrong user:\n%s", asb.String())
 	}
 }

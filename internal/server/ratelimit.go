@@ -1,0 +1,161 @@
+// Token-bucket rate limiting for the multi-tenant server: edit batches
+// and subscriptions are metered per connection AND per user (a user
+// opening many connections shares one user-level budget), so one noisy
+// tenant cannot monopolise the commit pipeline or the fan-out. Rejected
+// requests carry the typed "throttled" code with a retry-after hint
+// instead of a bare error string, letting clients back off precisely.
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// userBudgetFactor scales a user's shared budget relative to one
+// connection's: a user gets this many connections' worth of rate before
+// their connections start throttling each other.
+const userBudgetFactor = 4
+
+// tokenBucket is a standard refill-on-demand token bucket. Guarded by
+// its own mutex — takes happen on the request path, never nested inside
+// another lock.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until one accrues (the retry-after hint).
+func (b *tokenBucket) take(now time.Time) (ok bool, retry time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// rateLimiter holds the server's limit configuration plus the per-user
+// bucket registry. Per-connection buckets live on the conn itself.
+type rateLimiter struct {
+	editRate float64 // edit batches per second per connection, 0 = off
+	subRate  float64 // subscribe ops per second per connection, 0 = off
+
+	mu    sync.Mutex
+	users map[string]*userBuckets
+}
+
+type userBuckets struct {
+	edit *tokenBucket
+	sub  *tokenBucket
+}
+
+func newRateLimiter(editRate, subRate float64) *rateLimiter {
+	if editRate <= 0 && subRate <= 0 {
+		return nil
+	}
+	return &rateLimiter{editRate: editRate, subRate: subRate,
+		users: make(map[string]*userBuckets)}
+}
+
+// connBuckets mints the per-connection buckets for this configuration.
+func (rl *rateLimiter) connBuckets() (edit, sub *tokenBucket) {
+	if rl == nil {
+		return nil, nil
+	}
+	if rl.editRate > 0 {
+		edit = newBucket(rl.editRate, burstFor(rl.editRate))
+	}
+	if rl.subRate > 0 {
+		sub = newBucket(rl.subRate, burstFor(rl.subRate))
+	}
+	return edit, sub
+}
+
+// userFor returns (lazily creating) the shared buckets of one user.
+func (rl *rateLimiter) userFor(user string) *userBuckets {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	ub := rl.users[user]
+	if ub == nil {
+		ub = &userBuckets{}
+		if rl.editRate > 0 {
+			r := rl.editRate * userBudgetFactor
+			ub.edit = newBucket(r, burstFor(r))
+		}
+		if rl.subRate > 0 {
+			r := rl.subRate * userBudgetFactor
+			ub.sub = newBucket(r, burstFor(r))
+		}
+		rl.users[user] = ub
+	}
+	return ub
+}
+
+// burstFor allows twice the steady rate as burst, and never less than
+// one whole request.
+func burstFor(rate float64) float64 {
+	b := 2 * rate
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// allowEdit checks both the connection's and the user's edit budget.
+// It returns the larger retry hint when either refuses.
+func (c *conn) allowEdit(now time.Time) (bool, time.Duration) {
+	rl := c.srv.rl
+	if rl == nil {
+		return true, 0
+	}
+	return takeBoth(c.rlEdit, rl.userFor(c.user).edit, now)
+}
+
+// allowSubscribe is allowEdit for subscription ops.
+func (c *conn) allowSubscribe(now time.Time) (bool, time.Duration) {
+	rl := c.srv.rl
+	if rl == nil {
+		return true, 0
+	}
+	return takeBoth(c.rlSub, rl.userFor(c.user).sub, now)
+}
+
+func takeBoth(connB, userB *tokenBucket, now time.Time) (bool, time.Duration) {
+	ok, retry := true, time.Duration(0)
+	if connB != nil {
+		if o, r := connB.take(now); !o {
+			ok = false
+			retry = r
+		}
+	}
+	if userB != nil {
+		if o, r := userB.take(now); !o {
+			ok = false
+			if r > retry {
+				retry = r
+			}
+		}
+	}
+	return ok, retry
+}

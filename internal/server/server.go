@@ -11,6 +11,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tendax/internal/awareness"
 	"tendax/internal/core"
@@ -41,6 +42,11 @@ type Server struct {
 	eng     *core.Engine
 	sec     *security.Store // nil = no authentication (trusted LAN demo mode)
 	metrics *metrics.Metrics
+	rl      *rateLimiter // nil = unlimited
+	subQ    int          // per-subscriber queue limit, 0 = bus default
+
+	visMu      sync.Mutex
+	visClasses map[uint64]int // visibility fingerprint -> dense class ID
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -54,18 +60,33 @@ type Server struct {
 // New creates a server over an engine. sec may be nil to accept any user
 // name without a password (the LAN-party demo configuration).
 func New(eng *core.Engine, sec *security.Store) *Server {
-	return &Server{
-		eng:     eng,
-		sec:     sec,
-		metrics: metrics.New(),
-		conns:   make(map[*conn]bool),
-		logf:    log.Printf,
+	s := &Server{
+		eng:        eng,
+		sec:        sec,
+		metrics:    metrics.New(),
+		visClasses: make(map[uint64]int),
+		conns:      make(map[*conn]bool),
+		logf:       log.Printf,
 	}
+	eng.Bus().SetCounters(&s.metrics.Sheds, &s.metrics.QueueDepth)
+	return s
 }
 
 // Metrics exposes the server's hot-path counters (tendaxd serves them on
 // the -pprof debug endpoint).
 func (s *Server) Metrics() *metrics.Metrics { return s.metrics }
+
+// SetRateLimit configures per-connection token-bucket rates for edit
+// batches and subscription ops (each also enforced per user at 4x). Zero
+// (the default) disables the respective limiter. Call before Serve.
+func (s *Server) SetRateLimit(editsPerSec, subsPerSec float64) {
+	s.rl = newRateLimiter(editsPerSec, subsPerSec)
+}
+
+// SetSubscriberQueue bounds each subscriber's pending-event queue (the
+// shed-and-resync trigger point). 0 restores the bus default. Call
+// before Serve.
+func (s *Server) SetSubscriberQueue(limit int) { s.subQ = limit }
 
 // SetLogf replaces the server's logger (tests silence it).
 func (s *Server) SetLogf(f func(string, ...interface{})) { s.logf = f }
@@ -109,7 +130,9 @@ func (s *Server) Serve() error {
 		}
 		c := &conn{srv: s, codec: protocol.NewCodec(nc),
 			lastInsert: make(map[util.ID]util.ID),
-			subs:       make(map[util.ID]*awareness.Subscription)}
+			subs:       make(map[util.ID]*awareness.Subscription),
+			redactors:  make(map[util.ID]*redactor)}
+		c.rlEdit, c.rlSub = s.rl.connBuckets()
 		c.ver.Store(protocol.Version1)
 		c.codec.SetByteCounters(&s.metrics.BytesIn, &s.metrics.BytesOut)
 		s.metrics.Conns.Add(1)
@@ -173,9 +196,31 @@ type conn struct {
 	ver        atomic.Int32
 	lastInsert map[util.ID]util.ID
 
-	mu   sync.Mutex
-	subs map[util.ID]*awareness.Subscription
-	dead bool
+	// Per-connection rate-limit buckets (nil when the server runs
+	// unlimited); the matching per-user buckets live on the server.
+	rlEdit, rlSub *tokenBucket
+
+	mu        sync.Mutex
+	subs      map[util.ID]*awareness.Subscription
+	redactors map[util.ID]*redactor
+	dead      bool
+}
+
+// redactor returns this connection's (lazily created) redactor for doc —
+// shared by the subscription pump and the resync path so both see one
+// consistent hidden set. Nil without a security store.
+func (c *conn) redactor(doc util.ID) *redactor {
+	if c.srv.sec == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.redactors[doc]
+	if r == nil {
+		r = c.srv.newRedactor(c.user, doc)
+		c.redactors[doc] = r
+	}
+	return r
 }
 
 func (c *conn) close() {
@@ -223,9 +268,36 @@ func fail(err error) *protocol.Message {
 	return &protocol.Message{Err: err.Error()}
 }
 
+// throttledResp is the typed rate-limit rejection: machine-readable code
+// plus a retry-after hint (floored at 1ms so a hint-obeying client never
+// busy-spins).
+func throttledResp(retry time.Duration) *protocol.Message {
+	ms := retry.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return &protocol.Message{Err: "server: throttled, retry later",
+		Code: protocol.ErrThrottled, RetryMS: ms}
+}
+
 func (c *conn) handle(req *protocol.Message) *protocol.Message {
 	if req.Op != protocol.OpLogin && req.Op != protocol.OpHello && c.user == "" {
 		return fail(errors.New("server: not logged in"))
+	}
+	// Rate limiting, ahead of dispatch: edit traffic (v2 batches and the
+	// v1 single-op edits alike) and subscription churn are the two paths
+	// a noisy tenant can hammer.
+	switch req.Op {
+	case protocol.OpEdit, protocol.OpInsert, protocol.OpAppend, protocol.OpDelete:
+		if ok, retry := c.allowEdit(time.Now()); !ok {
+			c.srv.metrics.Throttles.Add(1)
+			return throttledResp(retry)
+		}
+	case protocol.OpSubscribe:
+		if ok, retry := c.allowSubscribe(time.Now()); !ok {
+			c.srv.metrics.Throttles.Add(1)
+			return throttledResp(retry)
+		}
 	}
 	switch req.Op {
 	case protocol.OpLogin:
@@ -508,96 +580,200 @@ func (c *conn) ackDurable(opID util.ID, lsn wal.LSN) *protocol.Message {
 }
 
 // subscribe registers for a document's events and starts the push pump.
+// The subscription rides the redesigned bus API: a bounded queue with the
+// ShedAndResync overflow policy (a storm drops queued events and leaves a
+// gap marker instead of detaching the subscriber), and the connection's
+// redactor installed as the per-subscriber filter so every pushed event
+// is already ACL-filtered when the pump encodes it.
 func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
 	docID := util.ID(req.Doc)
 	if _, err := c.srv.eng.OpenDocument(docID); err != nil {
 		return fail(err)
 	}
+	if err := c.srv.checkRead(c.user, docID); err != nil {
+		return fail(err)
+	}
+	red := c.redactor(docID)
 	c.mu.Lock()
 	if _, dup := c.subs[docID]; dup {
 		c.mu.Unlock()
 		return &protocol.Message{OK: true}
 	}
-	sub := c.srv.eng.Bus().Subscribe(docID)
+	sub := c.srv.eng.Bus().Subscribe(docID, awareness.SubscribeOpts{
+		Filter:         red.subscribeFilter(),
+		QueueLimit:     c.srv.subQ,
+		OverflowPolicy: awareness.ShedAndResync,
+	})
 	c.subs[docID] = sub
 	c.mu.Unlock()
 
 	c.srv.eng.Bus().Join(docID, c.user, c.srv.eng.Clock().Now())
-	go func() {
-		for ev := range sub.C {
-			// A multi-op batch pushes as ONE "batch" event. A subscriber
-			// that never negotiated v2 predates that kind: it would
-			// advance its sequence number without folding the text and
-			// silently diverge forever. Translate the event into the v1
-			// vocabulary it does understand — the advisory "lagged" push,
-			// whose documented recovery (resubscribe + resync) lands the
-			// replica on the committed state. The subscription itself
-			// stays live (the resubscribe deduplicates), so no event is
-			// lost around the resync. (This per-connection translation is
-			// deliberately uncached — it is not the shared event.)
-			ver := int(c.ver.Load())
-			if ev.Kind == awareness.EvBatch && ver < protocol.Version2 {
-				msg := &protocol.Message{
-					Type: protocol.TypePush,
-					Event: &protocol.Event{
-						Doc: uint64(ev.Doc), Kind: protocol.EvLagged,
-						Seq: ev.Seq, AtNS: ev.At.UnixNano(),
-					},
-				}
-				if err := c.codec.Send(msg); err != nil {
-					c.close()
-					return
-				}
-				continue
-			}
-			// Encode-once fan-out: the first pump to push this event
-			// renders its wire frame — one JSON line shared by every
-			// v1/v2 subscriber, one binary frame shared by every v3
-			// subscriber — and all later pumps reuse the bytes.
-			frame, err := ev.Wire.Get(frameKeyFor(ver), func() ([]byte, error) {
-				return protocol.EncodeFrame(
-					&protocol.Message{Type: protocol.TypePush, Event: wireEvent(&ev)}, ver)
-			})
-			if err != nil {
-				c.close()
+	go c.pump(docID, sub, red)
+	return &protocol.Message{OK: true, Seq: c.srv.eng.Bus().Seq(docID)}
+}
+
+// pump drains one subscription onto the wire until it closes. lastSent
+// tracks the highest delivered sequence number: gap healing can replay
+// events the queue had already delivered, and the dedup keeps the client
+// stream dense.
+func (c *conn) pump(docID util.ID, sub *awareness.Subscription, red *redactor) {
+	var lastSent uint64
+	for {
+		ev, ok := sub.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == awareness.EvGap {
+			if !c.healGap(docID, ev, red, &lastSent) {
 				return
 			}
-			if err := c.codec.SendRaw(frame); err != nil {
-				c.close()
-				return
-			}
-			c.srv.metrics.Pushes.Add(1)
+			continue
 		}
-		// The channel closed under us. If the bus cut the subscription
-		// because this connection lagged, the client still believes it is
-		// subscribed — drop the dead subscription so a resubscribe takes,
-		// and push a final "lagged" event telling it to resync. Without
-		// this the pump died silently and the replica froze forever.
-		if !sub.Lagged() {
-			return // ordinary unsubscribe/close: the client asked for it
+		if ev.Seq <= lastSent {
+			continue
 		}
-		c.mu.Lock()
-		if c.subs[docID] == sub {
-			delete(c.subs, docID)
-		}
-		dead := c.dead
-		c.mu.Unlock()
-		if dead {
+		if !c.pushEvent(&ev, red) {
 			return
 		}
+		lastSent = ev.Seq
+	}
+	// Closed under us. Under the legacy DetachLagged policy the bus cut
+	// the subscription while the client still believes it is subscribed —
+	// drop the dead subscription so a resubscribe takes, and push a final
+	// "lagged" event telling it to resync. (The server subscribes with
+	// ShedAndResync, so this tail only runs for an ordinary unsubscribe,
+	// where Lagged is false.)
+	if !sub.Lagged() {
+		return
+	}
+	c.mu.Lock()
+	if c.subs[docID] == sub {
+		delete(c.subs, docID)
+	}
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return
+	}
+	c.pushLagged(docID)
+}
+
+// pushEvent encodes one (already filtered) event for this connection's
+// negotiated version and writes it. Returns false once the connection is
+// torn down.
+func (c *conn) pushEvent(ev *awareness.Event, red *redactor) bool {
+	// A multi-op batch pushes as ONE "batch" event. A subscriber that
+	// never negotiated v2 predates that kind: it would advance its
+	// sequence number without folding the text and silently diverge
+	// forever. Translate the event into the v1 vocabulary it does
+	// understand — the advisory "lagged" push, whose documented recovery
+	// (resubscribe + resync) lands the replica on the committed state.
+	// The subscription itself stays live (the resubscribe deduplicates),
+	// so no event is lost around the resync. (This per-connection
+	// translation is deliberately uncached — it is not the shared event.)
+	ver := int(c.ver.Load())
+	if ev.Kind == awareness.EvBatch && ver < protocol.Version2 {
 		msg := &protocol.Message{
 			Type: protocol.TypePush,
 			Event: &protocol.Event{
-				Doc: uint64(docID), Kind: protocol.EvLagged,
-				Seq:  c.srv.eng.Bus().Seq(docID),
-				AtNS: c.srv.eng.Clock().Now().UnixNano(),
+				Doc: uint64(ev.Doc), Kind: protocol.EvLagged,
+				Seq: ev.Seq, AtNS: ev.At.UnixNano(),
 			},
 		}
 		if err := c.codec.Send(msg); err != nil {
 			c.close()
+			return false
 		}
-	}()
-	return &protocol.Message{OK: true, Seq: c.srv.eng.Bus().Seq(docID)}
+		return true
+	}
+	// Encode-once fan-out, keyed by (protocol family, visibility class):
+	// the first pump to push this event for a given key renders the
+	// frame — one JSON line shared by every all-visible v1/v2 subscriber,
+	// one binary frame for v3, and one frame per restricted class — and
+	// all later pumps with the same key reuse the bytes.
+	frame, err := ev.Wire.Get(classKey(frameKeyFor(ver), red.frameClass()), func() ([]byte, error) {
+		return protocol.EncodeFrame(
+			&protocol.Message{Type: protocol.TypePush, Event: wireEvent(ev)}, ver)
+	})
+	if err != nil {
+		c.close()
+		return false
+	}
+	if err := c.codec.SendRaw(frame); err != nil {
+		c.close()
+		return false
+	}
+	c.srv.metrics.Pushes.Add(1)
+	return true
+}
+
+// healGap recovers a shed subscriber in place: replay the missed events
+// from the bus's retention ring (O(gap), the same source as a delta
+// resync). When the ring no longer covers the gap, or the gap contains
+// an operation a positional replica cannot replay, fall back to the
+// advisory "lagged" push — the subscription stays live and the client
+// fetches the full text. Returns false once the connection is torn down.
+func (c *conn) healGap(docID util.ID, gap awareness.Event, red *redactor, lastSent *uint64) bool {
+	if int(c.ver.Load()) < protocol.Version2 {
+		// v1 vocabulary has no replay: advisory lagged, full-text recovery.
+		if !c.pushLagged(docID) {
+			return false
+		}
+		if s := c.srv.eng.Bus().Seq(docID); s > *lastSent {
+			*lastSent = s
+		}
+		return true
+	}
+	evs, covered := c.srv.eng.Bus().EventsSince(docID, *lastSent)
+	replayable := covered
+	for i := range evs {
+		if evs[i].Kind == awareness.EvUndo || evs[i].Kind == awareness.EvRedo {
+			replayable = false
+			break
+		}
+	}
+	if !replayable {
+		if !c.pushLagged(docID) {
+			return false
+		}
+		if s := c.srv.eng.Bus().Seq(docID); s > *lastSent {
+			*lastSent = s
+		}
+		return true
+	}
+	for i := range evs {
+		if evs[i].Seq <= *lastSent {
+			continue
+		}
+		ev := evs[i]
+		if red != nil {
+			ev = red.redact(ev)
+		}
+		if !c.pushEvent(&ev, red) {
+			return false
+		}
+		*lastSent = ev.Seq
+	}
+	c.srv.metrics.Heals.Add(1)
+	return true
+}
+
+// pushLagged sends the advisory "lagged" push: the client resubscribes
+// (a no-op if still subscribed) and resynchronises from committed state.
+func (c *conn) pushLagged(docID util.ID) bool {
+	msg := &protocol.Message{
+		Type: protocol.TypePush,
+		Event: &protocol.Event{
+			Doc: uint64(docID), Kind: protocol.EvLagged,
+			Seq:  c.srv.eng.Bus().Seq(docID),
+			AtNS: c.srv.eng.Clock().Now().UnixNano(),
+		},
+	}
+	if err := c.codec.Send(msg); err != nil {
+		c.close()
+		return false
+	}
+	return true
 }
 
 func (c *conn) unsubscribe(doc util.ID) {
@@ -741,9 +917,14 @@ func (c *conn) resync(req *protocol.Message) *protocol.Message {
 			}
 		}
 		if replayable {
+			red := c.redactor(d.ID())
 			out := make([]protocol.Event, len(evs))
 			for i := range evs {
-				out[i] = *wireEvent(&evs[i])
+				ev := evs[i]
+				if red != nil {
+					ev = red.redact(ev)
+				}
+				out[i] = *wireEvent(&ev)
 			}
 			return &protocol.Message{OK: true, Events: out}
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -19,6 +20,13 @@ import (
 // harness starts a server over an in-memory database and returns its
 // address. sec=true enables authentication with two users.
 func harness(t *testing.T, sec bool) (addr string, eng *core.Engine) {
+	addr, eng, _ = harnessStore(t, sec)
+	return addr, eng
+}
+
+// harnessStore is harness exposing the security store, for tests that
+// install ACL rules directly (nil when sec is false).
+func harnessStore(t *testing.T, sec bool) (addr string, eng *core.Engine, store *security.Store) {
 	t.Helper()
 	database, err := db.Open(db.Options{})
 	if err != nil {
@@ -28,7 +36,6 @@ func harness(t *testing.T, sec bool) (addr string, eng *core.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var store *security.Store
 	if sec {
 		store, err = security.NewStore(eng)
 		if err != nil {
@@ -49,7 +56,7 @@ func harness(t *testing.T, sec bool) (addr string, eng *core.Engine) {
 		srv.Close()
 		database.Close()
 	})
-	return a.String(), eng
+	return a.String(), eng, store
 }
 
 func login(t *testing.T, addr, user, pw string) *client.Client {
@@ -447,5 +454,165 @@ func TestReplicaResyncAfterGap(t *testing.T) {
 	}
 	if d.Text() != "" {
 		t.Fatalf("replica after remote undo = %q", d.Text())
+	}
+}
+
+// throttleHarness is harness with rate limits and a tiny subscriber
+// queue installed before any connection exists.
+func throttleHarness(t *testing.T, editRate, subRate float64, queue int) (addr string, srv *Server, eng *core.Engine) {
+	t.Helper()
+	database, err := db.Open(db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err = core.NewEngine(database, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = New(eng, nil)
+	srv.SetLogf(func(string, ...interface{}) {})
+	srv.SetRateLimit(editRate, subRate)
+	if queue > 0 {
+		srv.SetSubscriberQueue(queue)
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		srv.Close()
+		database.Close()
+	})
+	return a.String(), srv, eng
+}
+
+// TestEditThrottleTypedError pins the rate-limit contract: past the burst
+// allowance an edit is rejected with the typed "throttled" code carrying a
+// positive retry-after hint, the rejection is counted, and the document
+// never sees the rejected edit.
+func TestEditThrottleTypedError(t *testing.T) {
+	addr, srv, _ := throttleHarness(t, 1, 0, 0) // 1 edit/s, burst 2
+	c := login(t, addr, "spammer", "")
+	docID, err := c.CreateDocument("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var throttled *client.ThrottledError
+	accepted := 0
+	for i := 0; i < 20 && throttled == nil; i++ {
+		err := d.Append("x")
+		switch {
+		case err == nil:
+			accepted++
+		case errors.As(err, &throttled):
+		default:
+			t.Fatalf("edit %d: unexpected error %v", i, err)
+		}
+	}
+	if throttled == nil {
+		t.Fatalf("20 instant edits all accepted at 1 edit/s (%d committed)", accepted)
+	}
+	if accepted == 0 {
+		t.Fatal("burst allowance admitted nothing")
+	}
+	if throttled.RetryAfter <= 0 {
+		t.Fatalf("throttled without a retry-after hint: %v", throttled)
+	}
+	if got := srv.Metrics().Throttles.Load(); got == 0 {
+		t.Fatal("throttle rejections not counted")
+	}
+	// The rejection is per-request, not per-connection: the session stays
+	// usable and the committed text reflects only accepted edits.
+	text, err := d.Read()
+	if err != nil {
+		t.Fatalf("connection dead after throttle: %v", err)
+	}
+	if len(text) != accepted {
+		t.Fatalf("committed %d chars, accepted %d", len(text), accepted)
+	}
+}
+
+// TestSubscribeThrottle covers the subscription-storm limiter: repeated
+// subscribe ops past the burst are rejected with the typed code while the
+// connection survives.
+func TestSubscribeThrottle(t *testing.T) {
+	addr, _, _ := throttleHarness(t, 0, 1, 0) // 1 subscribe/s, burst 2
+	c := login(t, addr, "storm", "")
+	ids := make([]uint64, 8)
+	for i := range ids {
+		id, err := c.CreateDocument(fmt.Sprintf("doc-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var throttled *client.ThrottledError
+	for _, id := range ids {
+		if _, err := c.Open(id); err != nil {
+			if errors.As(err, &throttled) {
+				break
+			}
+			t.Fatalf("open: %v", err)
+		}
+	}
+	if throttled == nil {
+		t.Fatal("8 instant subscribes all accepted at 1 subscribe/s")
+	}
+}
+
+// TestShedSubscriberHealsFromRing drives a subscriber into queue overflow
+// and asserts the new backpressure contract: the subscription is NOT torn
+// down, the gap is healed by replaying the missed events from the
+// retention ring, and the replica converges byte-for-byte without a full
+// resync. The stalled reader is a raw client that refuses to read while a
+// writer floods the document.
+func TestShedSubscriberHealsFromRing(t *testing.T) {
+	addr, srv, eng := throttleHarness(t, 0, 0, 4) // 4-event subscriber queues
+
+	reader := login(t, addr, "reader", "")
+	if _, err := reader.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	docID, err := reader.CreateDocument("flood")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := reader.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood from the engine side: each commit is one bus event. Well
+	// within ring retention (1024), far beyond the queue bound (4). The
+	// reader's TCP window is tiny relative to hundreds of pushes, so its
+	// pump stalls on write and the queue sheds.
+	srvDoc, err := eng.OpenDocument(util.ID(docID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := srvDoc.InsertText("ghost", 0, "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := srvDoc.Text()
+	wantSeq := eng.Bus().Seq(util.ID(docID))
+	if err := rd.WaitSeq(wantSeq, 2000); err != nil {
+		t.Fatalf("replica stuck at seq %d, want %d: %v", rd.Seq(), wantSeq, err)
+	}
+	if got := rd.Text(); got != want {
+		t.Fatalf("replica diverged after shed+heal:\n want %d chars\n got  %d chars", len(want), len(got))
+	}
+	if srv.Metrics().Sheds.Load() == 0 {
+		t.Skip("queue never overflowed on this machine; shed path not exercised")
+	}
+	if srv.Metrics().Heals.Load() == 0 && !rd.Lagged() {
+		t.Fatal("shed happened but neither a ring heal nor a lagged recovery followed")
 	}
 }
