@@ -259,7 +259,13 @@ func (c *Client) HelloVer(max int) (int, error) {
 		return v, nil
 	}
 	c.mu.Unlock()
-	resp, err := c.call(&protocol.Message{Op: protocol.OpHello, Ver: max})
+	// The hello request is always JSON-framed (binary is only enabled
+	// below, after negotiation), so advertising capabilities here is safe
+	// against servers of any generation: JSON decoders skip unknown
+	// fields. CapTypedErrors tells the server this client decodes the
+	// Code/RetryMS bits that postdate the first binary release.
+	resp, err := c.call(&protocol.Message{Op: protocol.OpHello, Ver: max,
+		Caps: protocol.CapTypedErrors})
 	if err != nil {
 		// Only a server that ANSWERED with an error — i.e. an old server
 		// rejecting the unknown op — negotiates down to v1. Transport

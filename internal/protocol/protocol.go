@@ -91,6 +91,21 @@ const EvLagged = "lagged"
 // backoff, in milliseconds, after which retrying can succeed.
 const ErrThrottled = "throttled"
 
+// Hello capability bits (Message.Caps). The binary codec's presence
+// bitmap makes any bit a peer does not know a hard decode error, so a
+// field added after a binary release must never be sent to a binary peer
+// that did not opt in — capabilities are that opt-in. They ride only in
+// JSON-framed hello requests (a connection's first hello always predates
+// its binary upgrade, and JSON decoders skip unknown fields), which is
+// why advertising one is safe against any server generation; the binary
+// encoder deliberately has no presence bit for Caps.
+const (
+	// CapTypedErrors: the sender decodes the Code/RetryMS typed-error
+	// fields in binary frames. Without it a v3 peer gets the plain Err
+	// string and no machine-readable backoff hint.
+	CapTypedErrors uint64 = 1 << 0
+)
+
 // Edit-op kinds carried inside an OpEdit batch.
 const (
 	EditInsert = "insert"
@@ -229,6 +244,7 @@ type Message struct {
 	Clip     *Clip    `json:"clip,omitempty"`
 	Version  uint64   `json:"version,omitempty"`
 	Ver      int      `json:"ver,omitempty"`   // hello: highest version the sender speaks
+	Caps     uint64   `json:"caps,omitempty"`  // hello: capability bits (JSON frames only)
 	Ops      []EditOp `json:"ops,omitempty"`   // edit: the batch
 	Since    uint64   `json:"since,omitempty"` // resync: last applied sequence number
 

@@ -278,9 +278,20 @@ func (s *Store) Revoke(granter string, aclID util.ID) error {
 	if err := s.checkGranter(granter, doc); err != nil {
 		return err
 	}
-	return s.withTxn(func(tx *txn.Txn) error {
+	err = s.withTxn(func(tx *txn.Txn) error {
 		return s.tACLs.DeleteByPK(tx, int64(aclID))
 	})
+	if err != nil {
+		return err
+	}
+	// Removing a rule changes who may see what just as much as adding one:
+	// the EvSecurity event is what makes live subscriber redactors rebuild.
+	s.eng.Bus().Publish(awareness.Event{
+		Doc: doc, Kind: awareness.EvSecurity, User: granter,
+		Name: fmt.Sprintf("revoke %s %s", row[3].(string), row[2].(string)),
+		At:   s.eng.Clock().Now(),
+	})
+	return nil
 }
 
 // ACLs returns the rules of a document.
@@ -436,24 +447,38 @@ func (s *Store) ReadableMask(user string, doc util.ID, ids []util.ID) []bool {
 	return mask
 }
 
+// DeniedVisibility is the fail-closed ReadVisibility fingerprint: the
+// user may see nothing of the document's character stream — either
+// doc-level read access is denied outright or the ACL table could not be
+// read. Every event is fully masked for this class.
+const DeniedVisibility uint64 = 1
+
 // ReadVisibility classifies what user may see of doc's character stream:
 // 0 means the user is subject to no range deny-read rule (the common case
-// — full visibility), and any other value is a fingerprint of the exact
-// set of range rules that apply to the user. Two users with the same
-// class see the same redaction of every event, which is what lets the
-// server share one encoded wire frame per (protocol family, class)
-// instead of re-encoding per subscriber. The class changes when the
-// document's ACLs change (an EvSecurity event marks the moment).
+// — full visibility), DeniedVisibility means the user may see nothing at
+// all (doc-level deny-read, which range-rule fingerprinting alone would
+// miss), and any other value is a fingerprint of the exact set of range
+// rules that apply to the user. Two users with the same class see the
+// same redaction of every event, which is what lets the server share one
+// encoded wire frame per (protocol family, class) instead of re-encoding
+// per subscriber. The class changes when the document's ACLs change (an
+// EvSecurity event marks the moment).
 func (s *Store) ReadVisibility(user string, doc util.ID) uint64 {
 	info, err := s.eng.DocInfoByID(doc)
 	if err == nil && info.Creator == user {
 		return 0 // creator reads everything
 	}
+	if s.Check(user, doc, core.RRead) != nil {
+		// Whole-document deny: a subscriber whose doc-level read access
+		// was revoked mid-subscription must not keep the unredacted
+		// stream (or any partially-masked one).
+		return DeniedVisibility
+	}
 	acls, err := s.ACLs(doc)
 	if err != nil {
 		// Fail closed: an unreadable ACL table must not alias the
 		// all-visible class.
-		return 1
+		return DeniedVisibility
 	}
 	principals := s.principalsOf(user)
 	h := uint64(14695981039346656037) // FNV-1a offset basis
@@ -476,8 +501,9 @@ func (s *Store) ReadVisibility(user string, doc util.ID) uint64 {
 	if !applied {
 		return 0
 	}
-	if h == 0 {
-		h = 1 // reserve 0 for "no masking applies"
+	if h == 0 || h == DeniedVisibility {
+		h = 2 // 0 and 1 are reserved (all-visible, denied); a collision
+		//      only moves the user to another restricted class
 	}
 	return h
 }

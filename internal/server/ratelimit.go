@@ -55,6 +55,18 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retry time.Duration) {
 	return false, time.Duration(deficit / b.rate * float64(time.Second))
 }
 
+// refund returns one token taken by a combined admission check whose
+// OTHER bucket rejected: the request was not served, so it must not
+// drain this budget either. Capped at burst, like any refill.
+func (b *tokenBucket) refund() {
+	b.mu.Lock()
+	b.tokens++
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
 // rateLimiter holds the server's limit configuration plus the per-user
 // bucket registry. Per-connection buckets live on the conn itself.
 type rateLimiter struct {
@@ -141,21 +153,30 @@ func (c *conn) allowSubscribe(now time.Time) (bool, time.Duration) {
 	return takeBoth(c.rlSub, rl.userFor(c.user).sub, now)
 }
 
+// takeBoth admits a request only when BOTH buckets have a token, and a
+// rejection drains NEITHER: the token taken from the bucket that did
+// admit is refunded, so a throttled tenant's retries are not penalised
+// twice and the effective rate never drops below the configured one.
 func takeBoth(connB, userB *tokenBucket, now time.Time) (bool, time.Duration) {
-	ok, retry := true, time.Duration(0)
+	okC, retryC := true, time.Duration(0)
+	okU, retryU := true, time.Duration(0)
 	if connB != nil {
-		if o, r := connB.take(now); !o {
-			ok = false
-			retry = r
-		}
+		okC, retryC = connB.take(now)
 	}
 	if userB != nil {
-		if o, r := userB.take(now); !o {
-			ok = false
-			if r > retry {
-				retry = r
-			}
-		}
+		okU, retryU = userB.take(now)
 	}
-	return ok, retry
+	if okC && okU {
+		return true, 0
+	}
+	if okC && connB != nil {
+		connB.refund()
+	}
+	if okU && userB != nil {
+		userB.refund()
+	}
+	if retryU > retryC {
+		retryC = retryU
+	}
+	return false, retryC
 }

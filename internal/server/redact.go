@@ -17,6 +17,7 @@ import (
 
 	"tendax/internal/awareness"
 	"tendax/internal/core"
+	"tendax/internal/security"
 	"tendax/internal/util"
 )
 
@@ -74,21 +75,6 @@ func (s *Server) newRedactor(user string, doc util.ID) *redactor {
 	return &redactor{srv: s, user: user, doc: doc}
 }
 
-// frameClass returns the subscriber's current dense visibility class for
-// wire-cache keying. Valid after the redact call for the same event, on
-// the same goroutine.
-func (r *redactor) frameClass() int {
-	if r == nil {
-		return 0
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.built {
-		r.rebuildLocked()
-	}
-	return r.class
-}
-
 // rebuildLocked re-evaluates the user's visibility fingerprint and, when
 // masking applies, the hidden-instance set from the document's current
 // snapshot. O(doc * rules), paid only by restricted subscribers and only
@@ -99,6 +85,14 @@ func (r *redactor) rebuildLocked() {
 	r.class = r.srv.classOf(fp)
 	r.hidden, r.known = nil, nil
 	if r.class == 0 {
+		return
+	}
+	if fp == security.DeniedVisibility {
+		// Whole-document deny-read (or an unreadable ACL table): leaving
+		// hidden==known==nil keeps every instance unknown, so every event
+		// masks fully — a subscriber whose doc-level access was revoked
+		// mid-subscription stops seeing plaintext from the next rebuild
+		// point (the EvSecurity event of the revocation) on.
 		return
 	}
 	d, err := r.srv.eng.OpenDocument(r.doc)
@@ -118,18 +112,30 @@ func (r *redactor) rebuildLocked() {
 	}
 }
 
-// redact returns the event as this subscriber may see it. Events without
-// readable payload pass through; an ACL change triggers a rebuild so the
-// class and hidden set track the new rules.
+// redact returns the event as this subscriber may see it, with the
+// visibility class it was redacted for stamped into Event.VisClass.
+// Stamp and masking happen under one lock acquisition: the redactor is
+// shared between the subscription pump and the connection's request
+// goroutine (resync replay), and a class read in a separate call could
+// disagree with the hidden set the text was actually masked with — the
+// wire cache would then serve those bytes to the wrong class. Events
+// without readable payload pass through; an ACL change (and an event
+// naming instances born after the last rebuild) triggers a rebuild so
+// the class and hidden set track the new rules.
 func (r *redactor) redact(ev awareness.Event) awareness.Event {
 	if r == nil {
 		return ev
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if ev.Kind == awareness.EvSecurity || !r.built {
+	rebuild := ev.Kind == awareness.EvSecurity || !r.built
+	if !rebuild && r.class != 0 && r.unknownInLocked(&ev) {
+		rebuild = true
+	}
+	if rebuild {
 		r.rebuildLocked()
 	}
+	ev.VisClass = r.class
 	if r.class == 0 {
 		return ev
 	}
@@ -172,19 +178,30 @@ func maskAll(text string) string {
 	return string(runes)
 }
 
-// maskLocked replaces the runes of hidden (or unknown — fail closed)
-// instances. ids parallel the runes of text; a rebuild is attempted once
-// when unknown instances appear, catching text born after the last one.
-func (r *redactor) maskLocked(text string, ids []util.ID) string {
-	for _, id := range ids {
+// unknownInLocked reports whether the event names a character instance
+// born after the last rebuild — the trigger for rebuilding BEFORE the
+// class is stamped, so one redact call never mixes two hidden sets.
+func (r *redactor) unknownInLocked(ev *awareness.Event) bool {
+	for _, id := range ev.IDs {
 		if !r.known[id] {
-			r.rebuildLocked()
-			break
+			return true
 		}
 	}
-	if r.class == 0 {
-		return text
+	for i := range ev.Batch {
+		for _, id := range ev.Batch[i].IDs {
+			if !r.known[id] {
+				return true
+			}
+		}
 	}
+	return false
+}
+
+// maskLocked replaces the runes of hidden (or unknown — fail closed)
+// instances. ids parallel the runes of text; runes beyond the identified
+// prefix are masked too — partially-identified text must not fail open
+// any more than text with no IDs at all does.
+func (r *redactor) maskLocked(text string, ids []util.ID) string {
 	runes := []rune(text)
 	changed := false
 	for i, id := range ids {
@@ -195,6 +212,10 @@ func (r *redactor) maskLocked(text string, ids []util.ID) string {
 			runes[i] = MaskRune
 			changed = true
 		}
+	}
+	for i := len(ids); i < len(runes); i++ {
+		runes[i] = MaskRune
+		changed = true
 	}
 	if !changed {
 		return text

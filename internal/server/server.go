@@ -196,6 +196,11 @@ type conn struct {
 	ver        atomic.Int32
 	lastInsert map[util.ID]util.ID
 
+	// caps accumulates the capability bits the peer advertised in hello
+	// requests (protocol.Cap*). Written and read only by the serve loop:
+	// capabilities gate RESPONSE fields, never push frames.
+	caps uint64
+
 	// Per-connection rate-limit buckets (nil when the server runs
 	// unlimited); the matching per-user buckets live on the server.
 	rlEdit, rlSub *tokenBucket
@@ -270,14 +275,22 @@ func fail(err error) *protocol.Message {
 
 // throttledResp is the typed rate-limit rejection: machine-readable code
 // plus a retry-after hint (floored at 1ms so a hint-obeying client never
-// busy-spins).
-func throttledResp(retry time.Duration) *protocol.Message {
+// busy-spins). The typed fields are new v3 bitmask bits, and an older
+// binary peer fails the whole decode on a bit it does not know — so they
+// go to JSON peers (which skip unknown fields) and to binary peers that
+// advertised CapTypedErrors in hello; anyone else gets the plain Err
+// string and stays connected.
+func (c *conn) throttledResp(retry time.Duration) *protocol.Message {
 	ms := retry.Milliseconds()
 	if ms < 1 {
 		ms = 1
 	}
-	return &protocol.Message{Err: "server: throttled, retry later",
-		Code: protocol.ErrThrottled, RetryMS: ms}
+	resp := &protocol.Message{Err: "server: throttled, retry later"}
+	if int(c.ver.Load()) < protocol.Version3 || c.caps&protocol.CapTypedErrors != 0 {
+		resp.Code = protocol.ErrThrottled
+		resp.RetryMS = ms
+	}
+	return resp
 }
 
 func (c *conn) handle(req *protocol.Message) *protocol.Message {
@@ -291,12 +304,12 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 	case protocol.OpEdit, protocol.OpInsert, protocol.OpAppend, protocol.OpDelete:
 		if ok, retry := c.allowEdit(time.Now()); !ok {
 			c.srv.metrics.Throttles.Add(1)
-			return throttledResp(retry)
+			return c.throttledResp(retry)
 		}
 	case protocol.OpSubscribe:
 		if ok, retry := c.allowSubscribe(time.Now()); !ok {
 			c.srv.metrics.Throttles.Add(1)
-			return throttledResp(retry)
+			return c.throttledResp(retry)
 		}
 	}
 	switch req.Op {
@@ -318,6 +331,7 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 		if ver < protocol.Version1 {
 			ver = protocol.Version1
 		}
+		c.caps |= req.Caps
 		c.ver.Store(int32(ver))
 		if ver >= protocol.Version3 {
 			c.codec.EnableBinary()
@@ -632,7 +646,7 @@ func (c *conn) pump(docID util.ID, sub *awareness.Subscription, red *redactor) {
 		if ev.Seq <= lastSent {
 			continue
 		}
-		if !c.pushEvent(&ev, red) {
+		if !c.pushEvent(&ev) {
 			return
 		}
 		lastSent = ev.Seq
@@ -659,9 +673,12 @@ func (c *conn) pump(docID util.ID, sub *awareness.Subscription, red *redactor) {
 }
 
 // pushEvent encodes one (already filtered) event for this connection's
-// negotiated version and writes it. Returns false once the connection is
-// torn down.
-func (c *conn) pushEvent(ev *awareness.Event, red *redactor) bool {
+// negotiated version and writes it. The wire-cache key uses the
+// visibility class the redactor stamped into the event while masking it
+// (ev.VisClass) — never a fresh read of the redactor's state, which a
+// concurrent redact on the request goroutine may have moved on from.
+// Returns false once the connection is torn down.
+func (c *conn) pushEvent(ev *awareness.Event) bool {
 	// A multi-op batch pushes as ONE "batch" event. A subscriber that
 	// never negotiated v2 predates that kind: it would advance its
 	// sequence number without folding the text and silently diverge
@@ -691,7 +708,7 @@ func (c *conn) pushEvent(ev *awareness.Event, red *redactor) bool {
 	// frame — one JSON line shared by every all-visible v1/v2 subscriber,
 	// one binary frame for v3, and one frame per restricted class — and
 	// all later pumps with the same key reuse the bytes.
-	frame, err := ev.Wire.Get(classKey(frameKeyFor(ver), red.frameClass()), func() ([]byte, error) {
+	frame, err := ev.Wire.Get(classKey(frameKeyFor(ver), ev.VisClass), func() ([]byte, error) {
 		return protocol.EncodeFrame(
 			&protocol.Message{Type: protocol.TypePush, Event: wireEvent(ev)}, ver)
 	})
@@ -749,7 +766,7 @@ func (c *conn) healGap(docID util.ID, gap awareness.Event, red *redactor, lastSe
 		if red != nil {
 			ev = red.redact(ev)
 		}
-		if !c.pushEvent(&ev, red) {
+		if !c.pushEvent(&ev) {
 			return false
 		}
 		*lastSent = ev.Seq
@@ -905,6 +922,13 @@ func (c *conn) anchors(req *protocol.Message) *protocol.Message {
 func (c *conn) resync(req *protocol.Message) *protocol.Message {
 	d, err := c.doc(req)
 	if err != nil {
+		return fail(err)
+	}
+	// Same gate as subscribe: a user denied doc-level read gets no event
+	// replay. (The full-text fallback below re-checks through TextFor, but
+	// the replay path would otherwise hand redacted-by-range-rules-only
+	// events to a user who may not read the document at all.)
+	if err := c.srv.checkRead(c.user, d.ID()); err != nil {
 		return fail(err)
 	}
 	evs, ok := c.srv.eng.Bus().EventsSince(d.ID(), req.Since)

@@ -1,0 +1,297 @@
+// Regression tests for the multi-tenant hardening review findings: a
+// doc-level read revocation must cut off the live event stream and the
+// resync replay (not just range-rule masking), typed throttle fields must
+// never reach a binary peer that did not opt in, partially-identified
+// text must fail closed, and a rejected request must not drain the other
+// rate-limit budget.
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tendax/internal/client"
+	"tendax/internal/core"
+	"tendax/internal/protocol"
+	"tendax/internal/security"
+	"tendax/internal/util"
+)
+
+// callErr is v1Wire.call for requests whose error response is the point:
+// it returns the correlated response without failing the test on Err.
+func (w *v1Wire) callErr(m *protocol.Message) *protocol.Message {
+	w.t.Helper()
+	w.next++
+	m.Type = protocol.TypeRequest
+	m.ID = w.next
+	if err := w.codec.Send(m); err != nil {
+		w.t.Fatal(err)
+	}
+	for {
+		resp, err := w.codec.Recv()
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		if resp.Type == protocol.TypePush && resp.Event != nil {
+			w.pushes = append(w.pushes, resp.Event)
+			continue
+		}
+		if resp.Type == protocol.TypeResponse && resp.ID == m.ID {
+			return resp
+		}
+	}
+}
+
+// TestDocLevelRevocationCutsEventStream pins the high-severity leak: a
+// subscriber whose WHOLE-DOCUMENT read access is revoked mid-subscription
+// (no range rule involved — exactly the case range-rule fingerprinting
+// alone misses) must stop receiving plaintext on every channel: live
+// pushes mask fully from the revocation's EvSecurity event on, and the
+// delta-resync replay refuses outright. Unrestricted subscribers keep the
+// unredacted fast path throughout.
+func TestDocLevelRevocationCutsEventStream(t *testing.T) {
+	addr, eng, store := harnessStore(t, true)
+	if err := store.CreateUser("carol", "pw-c"); err != nil {
+		t.Fatal(err)
+	}
+
+	alice := login(t, addr, "alice", "pw-a")
+	docID, err := alice.CreateDocument("tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := alice.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Insert(0, "public before "); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit allow rules: once any doc-level RRead rule exists the
+	// document is closed by default, and bob's access hinges on his grant.
+	doc := util.ID(docID)
+	if _, err := store.Grant("alice", doc, security.UserPrefix+"bob", core.RRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Grant("alice", doc, security.UserPrefix+"carol", core.RRead); err != nil {
+		t.Fatal(err)
+	}
+
+	subscribe := func(user, pw string) *v1Wire {
+		w := dialV1(t, addr)
+		w.call(&protocol.Message{Op: protocol.OpLogin, User: user, Password: pw})
+		if got := w.call(&protocol.Message{Op: protocol.OpHello, Ver: protocol.Version2}).Ver; got != protocol.Version2 {
+			t.Fatalf("hello: negotiated v%d", got)
+		}
+		w.call(&protocol.Message{Op: protocol.OpSubscribe, Doc: docID})
+		return w
+	}
+	bob := subscribe("bob", "pw-b")
+	aobs := subscribe("alice", "pw-a")
+
+	// Revoke bob's grant. Carol's rule keeps the document closed-by-rule,
+	// so bob is now denied doc-level read — and the revocation publishes
+	// the EvSecurity event that makes live redactors rebuild.
+	acls, err := store.ACLs(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bobRule util.ID
+	for _, a := range acls {
+		if a.Principal == security.UserPrefix+"bob" {
+			bobRule = a.ID
+		}
+	}
+	if bobRule.IsNil() {
+		t.Fatal("bob's grant not found")
+	}
+	if err := store.Revoke("alice", bobRule); err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Insert(0, "TOPSECRET"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain both subscribers to the latest committed event.
+	wantSeq := eng.Bus().Seq(doc)
+	drain := func(w *v1Wire) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			w.call(&protocol.Message{Op: protocol.OpPresence, Doc: docID})
+			var max uint64
+			for _, ev := range w.pushes {
+				if ev.Seq > max {
+					max = ev.Seq
+				}
+			}
+			if max >= wantSeq {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("subscriber stuck at seq %d, want %d", max, wantSeq)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	drain(bob)
+	drain(aobs)
+
+	var bobTexts, aliceTexts strings.Builder
+	for _, ev := range bob.pushes {
+		bobTexts.WriteString(ev.Text)
+	}
+	for _, ev := range aobs.pushes {
+		aliceTexts.WriteString(ev.Text)
+	}
+	if strings.Contains(bobTexts.String(), "TOPSECRET") {
+		t.Fatalf("revoked subscriber still receives plaintext pushes:\n%s", bobTexts.String())
+	}
+	if !strings.ContainsRune(bobTexts.String(), MaskRune) {
+		t.Fatalf("revoked subscriber saw no masked push at all:\n%s", bobTexts.String())
+	}
+	if !strings.Contains(aliceTexts.String(), "TOPSECRET") {
+		t.Fatalf("unrestricted subscriber lost plaintext:\n%s", aliceTexts.String())
+	}
+	if strings.ContainsRune(aliceTexts.String(), MaskRune) {
+		t.Fatalf("unrestricted subscriber received a masked frame:\n%s", aliceTexts.String())
+	}
+
+	// The resync replay path must refuse a doc-level-denied user — with
+	// range redaction only, the full pre-revocation history would replay.
+	if resp := bob.callErr(&protocol.Message{Op: protocol.OpResync, Doc: docID, Since: 0}); resp.Err == "" {
+		t.Fatalf("resync replay served to a doc-level-denied user: full=%v events=%d",
+			resp.Full, len(resp.Events))
+	}
+	// And the full-text read path agrees.
+	if resp := bob.callErr(&protocol.Message{Op: protocol.OpText, Doc: docID}); resp.Err == "" {
+		t.Fatalf("full text served to a doc-level-denied user: %q", resp.Text)
+	}
+	// The unrestricted user's replay still works, unredacted.
+	aresp := aobs.call(&protocol.Message{Op: protocol.OpResync, Doc: docID, Since: 0})
+	var asb strings.Builder
+	for i := range aresp.Events {
+		asb.WriteString(aresp.Events[i].Text)
+	}
+	if !strings.Contains(asb.String(), "TOPSECRET") {
+		t.Fatalf("unrestricted resync replay over-masked:\n%s", asb.String())
+	}
+}
+
+// TestThrottleCodeGatedByCapability pins the mixed-fleet contract for the
+// typed throttle fields: they are new v3 presence-bitmap bits, and a
+// binary peer that predates them fails the WHOLE frame decode on an
+// unknown bit — so the server only emits them to binary peers that
+// advertised CapTypedErrors in hello. A v3 peer without the capability
+// (an older binary client) gets the plain Err string; the current library
+// client advertises it and keeps the typed ThrottledError.
+func TestThrottleCodeGatedByCapability(t *testing.T) {
+	addr, _, _ := throttleHarness(t, 1, 0, 0) // 1 edit/s, burst 2
+
+	// Older v3 binary client: negotiates v3 but advertises no caps.
+	old := dialV1(t, addr)
+	old.call(&protocol.Message{Op: protocol.OpLogin, User: "old-binary"})
+	if got := old.call(&protocol.Message{Op: protocol.OpHello, Ver: protocol.Version3}).Ver; got != protocol.Version3 {
+		t.Fatalf("hello: negotiated v%d", got)
+	}
+	old.codec.EnableBinary()
+	docID := old.call(&protocol.Message{Op: protocol.OpCreateDoc, Name: "busy"}).Doc
+	var throttled *protocol.Message
+	for i := 0; i < 20 && throttled == nil; i++ {
+		if resp := old.callErr(&protocol.Message{Op: protocol.OpAppend, Doc: docID, Text: "x"}); resp.Err != "" {
+			throttled = resp
+		}
+	}
+	if throttled == nil {
+		t.Fatal("20 instant edits all accepted at 1 edit/s")
+	}
+	if throttled.Code != "" || throttled.RetryMS != 0 {
+		t.Fatalf("typed fields sent to a binary peer without CapTypedErrors: code=%q retryMs=%d",
+			throttled.Code, throttled.RetryMS)
+	}
+
+	// Current library client: v3 + CapTypedErrors, typed error preserved.
+	c, err := client.Dial(addr,
+		client.WithMaxVersion(protocol.VersionMax), client.WithUser("new-binary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	newDoc, err := c.CreateDocument("busy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Open(newDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var typed *client.ThrottledError
+	for i := 0; i < 20 && typed == nil; i++ {
+		if err := d.Append("x"); err != nil && !errors.As(err, &typed) {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+	}
+	if typed == nil {
+		t.Fatal("capable v3 client never received the typed throttle")
+	}
+	if typed.RetryAfter <= 0 {
+		t.Fatalf("typed throttle without retry hint: %v", typed)
+	}
+}
+
+// TestMaskFailClosedTail pins the fail-closed stance for partially
+// identified text: runes beyond the event's instance-ID list are masked
+// for restricted classes, not forwarded.
+func TestMaskFailClosedTail(t *testing.T) {
+	r := &redactor{
+		class:  1,
+		known:  map[util.ID]bool{1: true, 2: true},
+		hidden: map[util.ID]bool{},
+	}
+	if got := r.maskLocked("abcd", []util.ID{1, 2}); got != "ab██" {
+		t.Fatalf("unidentified tail fails open: %q", got)
+	}
+	if got := r.maskLocked("ab", []util.ID{1, 2}); got != "ab" {
+		t.Fatalf("fully identified visible text masked: %q", got)
+	}
+}
+
+// TestTakeBothNoCrossDrain pins the combined admission contract: when one
+// bucket rejects, the token taken from the other is refunded, so rejected
+// requests drain neither budget.
+func TestTakeBothNoCrossDrain(t *testing.T) {
+	now := time.Now()
+	connB := newBucket(1, 2) // 2 tokens
+	userB := newBucket(1, 1) // 1 token
+	if ok, _ := takeBoth(connB, userB, now); !ok {
+		t.Fatal("first request rejected with both budgets available")
+	}
+	ok, retry := takeBoth(connB, userB, now) // user bucket is empty now
+	if ok {
+		t.Fatal("admitted past the user budget")
+	}
+	if retry <= 0 {
+		t.Fatal("combined reject without retry hint")
+	}
+	connB.mu.Lock()
+	left := connB.tokens
+	connB.mu.Unlock()
+	if left < 1 {
+		t.Fatalf("rejected request drained the connection budget: %.2f tokens left, want 1", left)
+	}
+	// Symmetric direction: empty connection bucket must not drain the user's.
+	connB2 := newBucket(1, 1)
+	userB2 := newBucket(1, 2)
+	takeBoth(connB2, userB2, now)
+	if ok, _ := takeBoth(connB2, userB2, now); ok {
+		t.Fatal("admitted past the connection budget")
+	}
+	userB2.mu.Lock()
+	left = userB2.tokens
+	userB2.mu.Unlock()
+	if left < 1 {
+		t.Fatalf("rejected request drained the user budget: %.2f tokens left, want 1", left)
+	}
+}
