@@ -1,18 +1,27 @@
 // Command tendaxd is the TeNDaX server daemon: it hosts one TeNDaX
-// database and serves editor connections over TCP.
+// database — as one engine or several independent engine shards — and
+// serves editor connections over TCP.
 //
 // Usage:
 //
-//	tendaxd -addr :7468 -data /var/lib/tendax [-auth] [-pprof 127.0.0.1:7469]
+//	tendaxd -addr :7468 -data /var/lib/tendax [-shards 4] [-auth] [-pprof 127.0.0.1:7469]
 //
 // With -auth, clients must present credentials of users created via the
 // security tables; without it any user name is accepted (the trusted
 // LAN-party demo configuration). An empty -data runs fully in memory.
 //
+// -shards N runs N independent engine shards, each with its own
+// write-ahead log, group-commit pipeline, checkpointer and compactor,
+// under <data>/shard-<i>; documents are placed onto shards by ID, so
+// every shard recovers independently on restart. N must stay constant
+// for the life of a data directory (the ID residue classes encode it).
+// The default 1 keeps the flat single-engine layout.
+//
 // -pprof starts a debug HTTP listener exposing the standard net/http/pprof
 // profiles under /debug/pprof/ and the server's hot-path counters
-// (batches/s, wire bytes in/out, allocations per committed batch) as JSON
-// under /metrics. Bind it to loopback; it is unauthenticated by design.
+// (batches/s, wire bytes in/out, allocations per committed batch, plus
+// per-shard and per-user-throttle breakdowns) as JSON under /metrics.
+// Bind it to loopback; it is unauthenticated by design.
 package main
 
 import (
@@ -25,8 +34,8 @@ import (
 	"syscall"
 	"time"
 
-	"tendax/internal/core"
 	"tendax/internal/db"
+	"tendax/internal/placement"
 	"tendax/internal/security"
 	"tendax/internal/server"
 )
@@ -34,14 +43,16 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7468", "listen address")
 	data := flag.String("data", "", "data directory (empty = in-memory)")
+	shards := flag.Int("shards", 1,
+		"engine shards in this process (each with its own WAL and commit pipeline); must stay constant per data directory")
 	auth := flag.Bool("auth", false, "require authentication")
 	seedUser := flag.String("seed-user", "", "create an initial user (name:password)")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second,
-		"fuzzy checkpoint interval (0 disables the timer trigger)")
+		"fuzzy checkpoint interval per shard (0 disables the timer trigger)")
 	ckptBytes := flag.Int64("checkpoint-log-bytes", 64<<20,
-		"fuzzy checkpoint when the WAL exceeds this many bytes (0 disables)")
+		"fuzzy checkpoint when a shard's WAL exceeds this many bytes (0 disables)")
 	compactEvery := flag.Duration("compact-interval", 5*time.Minute,
-		"tombstone compaction interval (0 disables the background compactor)")
+		"tombstone compaction interval (0 disables the background compactors)")
 	compactRetention := flag.Duration("compact-retention", time.Hour,
 		"tombstones deleted more than this long ago are archived out of the hot structures")
 	opRing := flag.Int("op-ring", 0,
@@ -56,36 +67,41 @@ func main() {
 		"debug HTTP listen address for /debug/pprof/ and /metrics (empty = disabled)")
 	flag.Parse()
 
-	database, err := db.Open(db.Options{
-		Dir:                *data,
-		CheckpointInterval: *ckptEvery,
-		CheckpointLogBytes: *ckptBytes,
+	if *shards < 1 {
+		log.Fatalf("tendaxd: -shards must be >= 1 (got %d)", *shards)
+	}
+	cl, err := placement.Open(placement.Options{
+		Shards: *shards,
+		Dir:    *data,
+		DB: db.Options{
+			CheckpointInterval: *ckptEvery,
+			CheckpointLogBytes: *ckptBytes,
+		},
 	})
 	if err != nil {
-		log.Fatalf("tendaxd: open database: %v", err)
+		log.Fatalf("tendaxd: open shards: %v", err)
 	}
-	defer database.Close()
+	defer cl.Close()
 
-	eng, err := core.NewEngine(database, nil)
-	if err != nil {
-		log.Fatalf("tendaxd: engine: %v", err)
-	}
-	eng.StartCompactor(*compactEvery, *compactRetention)
+	cl.StartCompactors(*compactEvery, *compactRetention)
 	if *opRing > 0 {
-		eng.Bus().SetRetention(*opRing)
+		cl.SetRetention(*opRing)
 	}
 	defer func() {
-		if err := eng.StopCompactor(); err != nil {
+		if err := cl.StopCompactors(); err != nil {
 			log.Printf("tendaxd: background compaction: %v", err)
 		}
 	}()
 	var sec *security.Store
 	if *auth {
-		sec, err = security.NewStore(eng)
+		// Users, roles and ACLs live on the metadata shard (shard 0); the
+		// router resolves per-document lookups to the owning shard.
+		sec, err = security.NewStore(cl.Meta())
 		if err != nil {
 			log.Fatalf("tendaxd: security: %v", err)
 		}
-		eng.SetAccessChecker(sec)
+		sec.SetRouter(cl)
+		cl.SetAccessChecker(sec)
 		if *seedUser != "" {
 			name, pw := splitColon(*seedUser)
 			if err := sec.CreateUser(name, pw); err != nil {
@@ -94,7 +110,7 @@ func main() {
 		}
 	}
 
-	srv := server.New(eng, sec)
+	srv := server.NewCluster(cl, sec)
 	if *rateLimit > 0 || *subRateLimit > 0 {
 		srv.SetRateLimit(*rateLimit, *subRateLimit)
 	}
@@ -122,8 +138,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("tendaxd: listen: %v", err)
 	}
-	log.Printf("tendaxd: serving on %s (data=%q auth=%v, recovery: %d winners, %d losers)",
-		bound, *data, *auth, database.Recovery.Winners, database.Recovery.Losers)
+	cl.Each(func(sh *placement.Shard) {
+		log.Printf("tendaxd: shard %d recovered (dir=%q, %d winners, %d losers)",
+			sh.Index, sh.Dir, sh.DB.Recovery.Winners, sh.DB.Recovery.Losers)
+	})
+	log.Printf("tendaxd: serving on %s (data=%q shards=%d auth=%v)",
+		bound, *data, cl.Shards(), *auth)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -47,6 +47,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	ver     int // negotiated protocol version (Version1 until Hello upgrades it)
+	shards  int // server's engine-shard count from hello (0 = not told)
 	pending map[int64]chan *protocol.Message
 	docs    map[uint64]*Doc
 	closed  bool
@@ -263,9 +264,10 @@ func (c *Client) HelloVer(max int) (int, error) {
 	// below, after negotiation), so advertising capabilities here is safe
 	// against servers of any generation: JSON decoders skip unknown
 	// fields. CapTypedErrors tells the server this client decodes the
-	// Code/RetryMS bits that postdate the first binary release.
+	// Code/RetryMS bits that postdate the first binary release;
+	// CapShardInfo that it decodes the Shards routing-metadata bit.
 	resp, err := c.call(&protocol.Message{Op: protocol.OpHello, Ver: max,
-		Caps: protocol.CapTypedErrors})
+		Caps: protocol.CapTypedErrors | protocol.CapShardInfo})
 	if err != nil {
 		// Only a server that ANSWERED with an error — i.e. an old server
 		// rejecting the unknown op — negotiates down to v1. Transport
@@ -285,6 +287,7 @@ func (c *Client) HelloVer(max int) (int, error) {
 	}
 	c.mu.Lock()
 	c.ver = v
+	c.shards = resp.Shards
 	c.mu.Unlock()
 	if v >= protocol.Version3 {
 		c.codec.EnableBinary()
@@ -297,6 +300,17 @@ func (c *Client) Ver() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ver
+}
+
+// ShardCount returns the server's engine-shard count as reported in the
+// hello response, or 0 when the server predates shard metadata (or no
+// hello was exchanged). Documents map onto shards by ID — shard of doc =
+// (doc-1) mod ShardCount — which the multi-node phase will use to route
+// connections; today it is purely informational.
+func (c *Client) ShardCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards
 }
 
 // Login authenticates the connection.
@@ -340,6 +354,13 @@ type Doc struct {
 	resyncing bool
 	events    []protocol.Event // retained for tests/UIs
 	watcher   func(protocol.Event)
+
+	// peers is the replica's presence view: user → cursor position,
+	// folded from the join/leave/cursor event stream since this replica
+	// subscribed, and replaced wholesale by a server presence snapshot
+	// (pushed after a shed gap is healed, when the incremental updates
+	// were coalesced away).
+	peers map[string]int
 }
 
 // Open subscribes to a document and returns its replica, primed with the
@@ -435,6 +456,21 @@ func (d *Doc) Events() []protocol.Event {
 	return append([]protocol.Event(nil), d.events...)
 }
 
+// Peers returns the replica's live presence view — user → cursor
+// position — as folded from the awareness event stream (no server round
+// trip; Presence() asks the server instead). The view covers activity
+// since this replica subscribed, and is corrected to the authoritative
+// roster whenever the server pushes a presence snapshot.
+func (d *Doc) Peers() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.peers))
+	for u, pos := range d.peers {
+		out[u] = pos
+	}
+	return out
+}
+
 // apply folds one pushed event into the replica. Events arrive in per-doc
 // sequence order; a gap (we were subscribed after some events, or the bus
 // dropped us) or a structural operation forces a resync.
@@ -469,6 +505,25 @@ func (d *Doc) apply(ev *protocol.Event) {
 			d.resyncing = false
 			d.mu.Unlock()
 		}()
+		return
+	}
+	if ev.Kind == protocol.EvPresence {
+		// Synthetic full-roster snapshot, out of band with the document
+		// event stream: its sequence number is whatever the bus was at
+		// when the server sent it (often ≤ the replica's — the dedup
+		// below would drop it), and it must apply even mid-resync, since
+		// a resync restores text, never presence. Replace the roster
+		// wholesale and leave d.seq alone.
+		peers := make(map[string]int, len(ev.Batch))
+		for _, it := range ev.Batch {
+			peers[it.Text] = it.Pos
+		}
+		d.peers = peers
+		w := d.watcher
+		d.mu.Unlock()
+		if w != nil {
+			w(*ev)
+		}
 		return
 	}
 	if d.resyncing {
@@ -521,6 +576,13 @@ func (d *Doc) foldLocked(ev *protocol.Event) {
 				d.spliceLocked(it.Pos, it.N, "")
 			}
 		}
+	case "join", "cursor":
+		if d.peers == nil {
+			d.peers = make(map[string]int)
+		}
+		d.peers[ev.User] = ev.Pos
+	case "leave":
+		delete(d.peers, ev.User)
 	}
 	d.events = append(d.events, *ev)
 }

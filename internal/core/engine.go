@@ -165,14 +165,31 @@ var (
 // NewEngine opens (creating schema as needed) a TeNDaX engine over
 // database. clock may be nil (system clock).
 func NewEngine(database *db.Database, clock util.Clock) (*Engine, error) {
+	return NewEngineShard(database, clock, 0, 1)
+}
+
+// NewEngineShard opens an engine that is shard `shard` of `shards` in a
+// multi-engine process (see internal/placement). Its ID generator mints
+// only from the residue class shard+1 mod shards, so a document ID alone
+// determines which shard owns it — no placement table, and IDs minted by
+// different shards can never collide. NewEngineShard(db, clock, 0, 1) is
+// identical to NewEngine.
+func NewEngineShard(database *db.Database, clock util.Clock, shard, shards int) (*Engine, error) {
 	if clock == nil {
 		clock = util.NewSystemClock()
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("core: invalid shard %d of %d", shard, shards)
 	}
 	e := &Engine{
 		db:    database,
 		clock: clock,
 		bus:   awareness.NewBus(0),
 		docs:  make(map[util.ID]*Document),
+	}
+	if shards > 1 {
+		// Must precede the MaxPK seeding below so Seed lands on the class.
+		e.ids.SetStride(uint64(shard), uint64(shards))
 	}
 	var err error
 	if e.tDocs, err = database.CreateTable("docs", docsSchema, "name"); err != nil {

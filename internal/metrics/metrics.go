@@ -29,11 +29,59 @@ type Metrics struct {
 	QueueDepth Counter // events queued across all subscribers (gauge)
 	Heals      Counter // shed gaps healed from the retention ring
 
+	// shards holds per-engine-shard commit counters when the process
+	// runs more than one shard (EnableShards). Nil in single-shard mode,
+	// keeping the scrape output unchanged.
+	shards []ShardCounters
+
+	// userThrottles, when set, supplies per-user rate-limit rejection
+	// counts at scrape time (the buckets live in the server's limiter;
+	// metrics only renders them).
+	userThrottles func() []UserThrottle
+
 	mu          sync.Mutex
 	start       time.Time
 	lastScrape  time.Time
 	lastAllocs  uint64
 	lastBatches int64
+}
+
+// ShardCounters is one engine shard's slice of the commit counters.
+type ShardCounters struct {
+	Batches    Counter
+	Ops        Counter
+	Keystrokes Counter
+}
+
+// UserThrottle is one user's rate-limit rejection tally, surfaced so an
+// operator can tell WHICH tenant the limiter is pushing back on — the
+// aggregate Throttles counter only says that someone is.
+type UserThrottle struct {
+	User        string `json:"user"`
+	EditRejects int64  `json:"edit_rejects"`
+	SubRejects  int64  `json:"sub_rejects"`
+}
+
+// EnableShards sizes the per-shard counter set. Call once at startup,
+// before any traffic; n < 2 leaves per-shard accounting off.
+func (m *Metrics) EnableShards(n int) {
+	if n >= 2 {
+		m.shards = make([]ShardCounters, n)
+	}
+}
+
+// Shard returns shard i's counters, or nil when per-shard accounting is
+// off (single-shard processes pay zero extra atomics).
+func (m *Metrics) Shard(i int) *ShardCounters {
+	if m.shards == nil || i < 0 || i >= len(m.shards) {
+		return nil
+	}
+	return &m.shards[i]
+}
+
+// SetUserThrottles installs the per-user rejection snapshot source.
+func (m *Metrics) SetUserThrottles(fn func() []UserThrottle) {
+	m.userThrottles = fn
 }
 
 // Counter is an alias for atomic.Int64 so the protocol layer can take
@@ -77,6 +125,18 @@ type snapshot struct {
 	BatchesPerSec   float64 `json:"batches_per_sec"`
 	AllocsPerBatch  float64 `json:"allocs_per_batch"`
 	WindowedBatches int64   `json:"windowed_batches"`
+
+	// Multi-shard breakdown (absent in single-shard processes).
+	Shards []shardSnapshot `json:"shards,omitempty"`
+	// Per-user rate-limit rejections (absent without a rate limiter).
+	UserThrottles []UserThrottle `json:"user_throttles,omitempty"`
+}
+
+type shardSnapshot struct {
+	Shard      int   `json:"shard"`
+	Batches    int64 `json:"batches"`
+	Ops        int64 `json:"ops"`
+	Keystrokes int64 `json:"keystrokes"`
 }
 
 // Handler serves the counters as JSON, plus two derived figures computed
@@ -118,6 +178,18 @@ func (m *Metrics) Handler() http.Handler {
 		}
 		if dBatches > 0 {
 			snap.AllocsPerBatch = float64(dAllocs) / float64(dBatches)
+		}
+		for i := range m.shards {
+			sc := &m.shards[i]
+			snap.Shards = append(snap.Shards, shardSnapshot{
+				Shard:      i,
+				Batches:    sc.Batches.Load(),
+				Ops:        sc.Ops.Load(),
+				Keystrokes: sc.Keystrokes.Load(),
+			})
+		}
+		if m.userThrottles != nil {
+			snap.UserThrottles = m.userThrottles()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

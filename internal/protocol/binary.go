@@ -996,6 +996,7 @@ const (
 	mbHistory
 	mbCode    // machine-readable error code (typed errors)
 	mbRetryMS // throttle backoff hint
+	mbShards  // hello: engine-shard count (gated by CapShardInfo)
 	mbCount   // number of defined bits
 )
 
@@ -1041,6 +1042,7 @@ func appendBinaryMessage(b []byte, m *Message) []byte {
 	set(len(m.History) > 0, mbHistory)
 	set(m.Code != "", mbCode)
 	set(m.RetryMS != 0, mbRetryMS)
+	set(m.Shards != 0, mbShards)
 
 	b = appendUvarint(b, bm)
 	has := func(bit int) bool { return bm&(1<<uint(bit)) != 0 }
@@ -1160,6 +1162,9 @@ func appendBinaryMessage(b []byte, m *Message) []byte {
 	}
 	if has(mbRetryMS) {
 		b = appendZigzag(b, m.RetryMS)
+	}
+	if has(mbShards) {
+		b = appendZigzag(b, int64(m.Shards))
 	}
 	return b
 }
@@ -1386,6 +1391,11 @@ func decodeBinaryMessage(payload []byte) (*Message, error) {
 	}
 	if has(mbRetryMS) {
 		if m.RetryMS, err = d.zigzag(); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbShards) {
+		if m.Shards, err = d.i(); err != nil {
 			return nil, err
 		}
 	}

@@ -86,6 +86,14 @@ const (
 // carries the document's current sequence number, making the gap visible.
 const EvLagged = "lagged"
 
+// EvPresence is a synthetic push carrying a document's full presence
+// roster (one Batch item per present user: Text the user name, Pos the
+// cursor). The server sends it after healing a shed gap, because the
+// join/leave/cursor updates coalesced into the gap are not in the replay;
+// the receiver replaces its presence state wholesale and does not advance
+// its event sequence number.
+const EvPresence = "presence"
+
 // ErrThrottled is the machine-readable Code of a response rejected by the
 // server's rate limiter. The response's RetryMS carries the earliest
 // backoff, in milliseconds, after which retrying can succeed.
@@ -104,6 +112,11 @@ const (
 	// fields in binary frames. Without it a v3 peer gets the plain Err
 	// string and no machine-readable backoff hint.
 	CapTypedErrors uint64 = 1 << 0
+	// CapShardInfo: the sender decodes the Shards routing-metadata field
+	// in binary frames. Without it a v3 peer's hello response omits the
+	// shard count (JSON peers always get it — their decoders skip
+	// unknown fields).
+	CapShardInfo uint64 = 1 << 1
 )
 
 // Edit-op kinds carried inside an OpEdit batch.
@@ -278,6 +291,12 @@ type Message struct {
 	// contains an operation a positional replica cannot replay): Text,
 	// Seq and Snap carry a full consistent read, Events is empty.
 	Full bool `json:"full,omitempty"`
+	// Shards is routing metadata on the hello response: how many engine
+	// shards this process runs (documents map to shards by ID). Today it
+	// is advisory — every shard is served by this one address — but the
+	// multi-node phase will use it to pre-place connections. Gated by
+	// CapShardInfo on binary frames.
+	Shards int `json:"shards,omitempty"`
 
 	// Push payload.
 	Event *Event `json:"event,omitempty"`

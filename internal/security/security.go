@@ -59,12 +59,34 @@ var (
 	}
 )
 
+// DocRouter resolves which engine owns a document in a multi-shard
+// process (see internal/placement). The store's own tables always live on
+// the engine it was constructed with (the metadata shard); only per-doc
+// lookups and awareness publishes route through this hook.
+type DocRouter interface {
+	EngineFor(doc util.ID) *core.Engine
+}
+
 // Store is the security subsystem over the shared database.
 type Store struct {
 	eng    *core.Engine
+	router DocRouter // nil = single engine (s.eng)
 	tUsers *db.Table
 	tRoles *db.Table
 	tACLs  *db.Table
+}
+
+// SetRouter installs the document→engine resolver for multi-shard
+// processes. Without it every document is assumed to live on the store's
+// own engine (the pre-sharding behavior).
+func (s *Store) SetRouter(r DocRouter) { s.router = r }
+
+// docEngine returns the engine owning doc.
+func (s *Store) docEngine(doc util.ID) *core.Engine {
+	if s.router == nil {
+		return s.eng
+	}
+	return s.router.EngineFor(doc)
 }
 
 // NewStore opens the security tables and returns the store. Install it on
@@ -253,7 +275,9 @@ func (s *Store) addACL(granter string, acl ACL) (util.ID, error) {
 	if err != nil {
 		return util.NilID, err
 	}
-	s.eng.Bus().Publish(awareness.Event{
+	// Publish on the owning shard's bus: that is where the document's
+	// subscribers (and their redactors) listen.
+	s.docEngine(acl.Doc).Bus().Publish(awareness.Event{
 		Doc: acl.Doc, Kind: awareness.EvSecurity, User: granter,
 		Name: fmt.Sprintf("%s %s %s", verb(acl.Allow), acl.Right, acl.Principal),
 		At:   s.eng.Clock().Now(),
@@ -286,7 +310,7 @@ func (s *Store) Revoke(granter string, aclID util.ID) error {
 	}
 	// Removing a rule changes who may see what just as much as adding one:
 	// the EvSecurity event is what makes live subscriber redactors rebuild.
-	s.eng.Bus().Publish(awareness.Event{
+	s.docEngine(doc).Bus().Publish(awareness.Event{
 		Doc: doc, Kind: awareness.EvSecurity, User: granter,
 		Name: fmt.Sprintf("revoke %s %s", row[3].(string), row[2].(string)),
 		At:   s.eng.Clock().Now(),
@@ -324,7 +348,7 @@ func (s *Store) ACLs(doc util.ID) ([]ACL, error) {
 // explicit RGrant allow rule. Unlike read/write, administration is never
 // open by default.
 func (s *Store) checkGranter(granter string, doc util.ID) error {
-	info, err := s.eng.DocInfoByID(doc)
+	info, err := s.docEngine(doc).DocInfoByID(doc)
 	if err != nil {
 		return err
 	}
@@ -360,7 +384,7 @@ func (s *Store) principalsOf(user string) map[string]bool {
 // it; once rules exist, a matching deny wins over a matching allow, and a
 // non-match is a deny.
 func (s *Store) Check(user string, doc util.ID, right core.Right) error {
-	info, err := s.eng.DocInfoByID(doc)
+	info, err := s.docEngine(doc).DocInfoByID(doc)
 	if err != nil {
 		return err
 	}
@@ -406,7 +430,7 @@ func (s *Store) ReadableMask(user string, doc util.ID, ids []util.ID) []bool {
 	if err != nil {
 		return nil
 	}
-	info, err := s.eng.DocInfoByID(doc)
+	info, err := s.docEngine(doc).DocInfoByID(doc)
 	if err == nil && info.Creator == user {
 		return nil // creator reads everything
 	}
@@ -464,7 +488,7 @@ const DeniedVisibility uint64 = 1
 // per subscriber. The class changes when the document's ACLs change (an
 // EvSecurity event marks the moment).
 func (s *Store) ReadVisibility(user string, doc util.ID) uint64 {
-	info, err := s.eng.DocInfoByID(doc)
+	info, err := s.docEngine(doc).DocInfoByID(doc)
 	if err == nil && info.Creator == user {
 		return 0 // creator reads everything
 	}

@@ -7,8 +7,12 @@
 package server
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"tendax/internal/metrics"
 )
 
 // userBudgetFactor scales a user's shared budget relative to one
@@ -80,6 +84,13 @@ type rateLimiter struct {
 type userBuckets struct {
 	edit *tokenBucket
 	sub  *tokenBucket
+
+	// Rejection tallies, surfaced on /metrics so operators can tell
+	// which tenant is being limited. Counted per admission decision
+	// (a rejection by EITHER the conn or the user bucket counts once —
+	// what the tenant experienced, not which budget ran out).
+	editRejects atomic.Int64
+	subRejects  atomic.Int64
 }
 
 func newRateLimiter(editRate, subRate float64) *rateLimiter {
@@ -124,6 +135,28 @@ func (rl *rateLimiter) userFor(user string) *userBuckets {
 	return ub
 }
 
+// stats snapshots every user's rejection tallies, sorted by user name so
+// repeated scrapes diff cleanly. Users that were never throttled are
+// skipped — the registry holds every user ever seen, the scrape only the
+// interesting ones.
+func (rl *rateLimiter) stats() []metrics.UserThrottle {
+	if rl == nil {
+		return nil
+	}
+	rl.mu.Lock()
+	out := make([]metrics.UserThrottle, 0, len(rl.users))
+	for name, ub := range rl.users {
+		e, s := ub.editRejects.Load(), ub.subRejects.Load()
+		if e == 0 && s == 0 {
+			continue
+		}
+		out = append(out, metrics.UserThrottle{User: name, EditRejects: e, SubRejects: s})
+	}
+	rl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
 // burstFor allows twice the steady rate as burst, and never less than
 // one whole request.
 func burstFor(rate float64) float64 {
@@ -141,7 +174,12 @@ func (c *conn) allowEdit(now time.Time) (bool, time.Duration) {
 	if rl == nil {
 		return true, 0
 	}
-	return takeBoth(c.rlEdit, rl.userFor(c.user).edit, now)
+	ub := rl.userFor(c.user)
+	ok, retry := takeBoth(c.rlEdit, ub.edit, now)
+	if !ok {
+		ub.editRejects.Add(1)
+	}
+	return ok, retry
 }
 
 // allowSubscribe is allowEdit for subscription ops.
@@ -150,7 +188,12 @@ func (c *conn) allowSubscribe(now time.Time) (bool, time.Duration) {
 	if rl == nil {
 		return true, 0
 	}
-	return takeBoth(c.rlSub, rl.userFor(c.user).sub, now)
+	ub := rl.userFor(c.user)
+	ok, retry := takeBoth(c.rlSub, ub.sub, now)
+	if !ok {
+		ub.subRejects.Add(1)
+	}
+	return ok, retry
 }
 
 // takeBoth admits a request only when BOTH buckets have a token, and a

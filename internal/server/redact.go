@@ -95,7 +95,7 @@ func (r *redactor) rebuildLocked() {
 		// point (the EvSecurity event of the revocation) on.
 		return
 	}
-	d, err := r.srv.eng.OpenDocument(r.doc)
+	d, err := r.srv.cl.OpenDocument(r.doc)
 	if err != nil {
 		return // hidden==known==nil: every instance is unknown, masked
 	}

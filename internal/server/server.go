@@ -1,7 +1,10 @@
 // Package server implements the TeNDaX daemon: a TCP server hosting one
-// engine, serving any number of editor connections. Every committed editing
-// transaction is pushed to all subscribers of the document, which is what
-// turns the database into a real-time collaborative editor backend.
+// or more engine shards, serving any number of editor connections. Every
+// committed editing transaction is pushed to all subscribers of the
+// document, which is what turns the database into a real-time
+// collaborative editor backend. With multiple shards each request is
+// routed to its document's engine (internal/placement) — the protocol
+// never changes, only which WAL and awareness bus serve the document.
 package server
 
 import (
@@ -16,6 +19,7 @@ import (
 	"tendax/internal/awareness"
 	"tendax/internal/core"
 	"tendax/internal/metrics"
+	"tendax/internal/placement"
 	"tendax/internal/protocol"
 	"tendax/internal/security"
 	"tendax/internal/util"
@@ -37,9 +41,9 @@ func frameKeyFor(ver int) int {
 	return frameKeyJSON
 }
 
-// Server hosts an engine on a TCP listener.
+// Server hosts a shard cluster on a TCP listener.
 type Server struct {
-	eng     *core.Engine
+	cl      *placement.Cluster
 	sec     *security.Store // nil = no authentication (trusted LAN demo mode)
 	metrics *metrics.Metrics
 	rl      *rateLimiter // nil = unlimited
@@ -57,20 +61,40 @@ type Server struct {
 	OnListen func(addr net.Addr) // test hook
 }
 
-// New creates a server over an engine. sec may be nil to accept any user
-// name without a password (the LAN-party demo configuration).
+// New creates a server over a single engine. sec may be nil to accept any
+// user name without a password (the LAN-party demo configuration).
 func New(eng *core.Engine, sec *security.Store) *Server {
+	return NewCluster(placement.Wrap(eng), sec)
+}
+
+// NewCluster creates a server over a placement cluster: every request is
+// routed to the engine shard owning its document. All shards share the
+// server's aggregate shed/queue-depth counters; per-shard commit counters
+// are kept when the cluster has more than one shard.
+func NewCluster(cl *placement.Cluster, sec *security.Store) *Server {
 	s := &Server{
-		eng:        eng,
+		cl:         cl,
 		sec:        sec,
 		metrics:    metrics.New(),
 		visClasses: make(map[uint64]int),
 		conns:      make(map[*conn]bool),
 		logf:       log.Printf,
 	}
-	eng.Bus().SetCounters(&s.metrics.Sheds, &s.metrics.QueueDepth)
+	s.metrics.EnableShards(cl.Shards())
+	cl.Each(func(sh *placement.Shard) {
+		sh.Engine.Bus().SetCounters(&s.metrics.Sheds, &s.metrics.QueueDepth)
+	})
 	return s
 }
+
+// engineFor resolves the engine shard owning doc.
+func (s *Server) engineFor(doc util.ID) *core.Engine { return s.cl.EngineFor(doc) }
+
+// busFor resolves the awareness bus of the shard owning doc.
+func (s *Server) busFor(doc util.ID) *awareness.Bus { return s.cl.BusFor(doc) }
+
+// clock returns the cluster-wide clock.
+func (s *Server) clock() util.Clock { return s.cl.Clock() }
 
 // Metrics exposes the server's hot-path counters (tendaxd serves them on
 // the -pprof debug endpoint).
@@ -81,6 +105,11 @@ func (s *Server) Metrics() *metrics.Metrics { return s.metrics }
 // (the default) disables the respective limiter. Call before Serve.
 func (s *Server) SetRateLimit(editsPerSec, subsPerSec float64) {
 	s.rl = newRateLimiter(editsPerSec, subsPerSec)
+	if s.rl != nil {
+		s.metrics.SetUserThrottles(s.rl.stats)
+	} else {
+		s.metrics.SetUserThrottles(nil)
+	}
 }
 
 // SetSubscriberQueue bounds each subscriber's pending-event queue (the
@@ -242,7 +271,7 @@ func (c *conn) close() {
 	for doc, sub := range subs {
 		sub.Close()
 		if user != "" {
-			c.srv.eng.Bus().Leave(doc, user, c.srv.eng.Clock().Now())
+			c.srv.busFor(doc).Leave(doc, user, c.srv.clock().Now())
 		}
 	}
 	_ = c.codec.Close()
@@ -336,7 +365,15 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 		if ver >= protocol.Version3 {
 			c.codec.EnableBinary()
 		}
-		return &protocol.Message{OK: true, Ver: ver}
+		resp := &protocol.Message{OK: true, Ver: ver}
+		// Shard-count routing metadata: advisory today (one address serves
+		// every shard), the seam the multi-node phase redirects through.
+		// Same gating as the other post-v3 fields — a binary peer that
+		// did not advertise CapShardInfo would hard-fail on the new bit.
+		if ver < protocol.Version3 || c.caps&protocol.CapShardInfo != 0 {
+			resp.Shards = c.srv.cl.Shards()
+		}
+		return resp
 	case protocol.OpEdit:
 		return c.editBatch(req)
 	case protocol.OpAnchors:
@@ -344,13 +381,13 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 	case protocol.OpResync:
 		return c.resync(req)
 	case protocol.OpCreateDoc:
-		d, err := c.srv.eng.CreateDocument(c.user, req.Name)
+		d, err := c.srv.cl.CreateDocument(c.user, req.Name)
 		if err != nil {
 			return fail(err)
 		}
 		return &protocol.Message{OK: true, Doc: uint64(d.ID())}
 	case protocol.OpListDocs:
-		infos, err := c.srv.eng.ListDocuments()
+		infos, err := c.srv.cl.ListDocuments()
 		if err != nil {
 			return fail(err)
 		}
@@ -415,7 +452,7 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 		if err != nil {
 			return fail(err)
 		}
-		return c.ackDurable(opID, lsn)
+		return c.ackDurable(d.ID(), opID, lsn)
 	case protocol.OpAppend:
 		d, err := c.doc(req)
 		if err != nil {
@@ -425,7 +462,7 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 		if err != nil {
 			return fail(err)
 		}
-		return c.ackDurable(opID, lsn)
+		return c.ackDurable(d.ID(), opID, lsn)
 	case protocol.OpDelete:
 		d, err := c.doc(req)
 		if err != nil {
@@ -435,7 +472,7 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 		if err != nil {
 			return fail(err)
 		}
-		return c.ackDurable(opID, lsn)
+		return c.ackDurable(d.ID(), opID, lsn)
 	case protocol.OpCopy:
 		d, err := c.doc(req)
 		if err != nil {
@@ -552,10 +589,10 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 		c.unsubscribe(util.ID(req.Doc))
 		return &protocol.Message{OK: true}
 	case protocol.OpCursor:
-		c.srv.eng.Bus().MoveCursor(util.ID(req.Doc), c.user, req.Pos, c.srv.eng.Clock().Now())
+		c.srv.busFor(util.ID(req.Doc)).MoveCursor(util.ID(req.Doc), c.user, req.Pos, c.srv.clock().Now())
 		return &protocol.Message{OK: true}
 	case protocol.OpPresence:
-		ps := c.srv.eng.Bus().Present(util.ID(req.Doc))
+		ps := c.srv.busFor(util.ID(req.Doc)).Present(util.ID(req.Doc))
 		out := make([]protocol.Presence, len(ps))
 		for i, p := range ps {
 			out[i] = protocol.Presence{User: p.User, Cursor: p.Cursor}
@@ -580,14 +617,14 @@ func (c *conn) login(req *protocol.Message) *protocol.Message {
 }
 
 func (c *conn) doc(req *protocol.Message) (*core.Document, error) {
-	return c.srv.eng.OpenDocument(util.ID(req.Doc))
+	return c.srv.cl.OpenDocument(util.ID(req.Doc))
 }
 
 // ackDurable turns a committed-but-not-yet-durable edit into a response,
-// waiting on the write-ahead log's durable horizon first. An edit is never
-// acknowledged to the editor before it is on stable storage.
-func (c *conn) ackDurable(opID util.ID, lsn wal.LSN) *protocol.Message {
-	if err := c.srv.eng.WaitDurable(lsn); err != nil {
+// waiting on the owning shard's write-ahead log durable horizon first. An
+// edit is never acknowledged to the editor before it is on stable storage.
+func (c *conn) ackDurable(doc util.ID, opID util.ID, lsn wal.LSN) *protocol.Message {
+	if err := c.srv.engineFor(doc).WaitDurable(lsn); err != nil {
 		return fail(err)
 	}
 	return &protocol.Message{OK: true, OpID: uint64(opID)}
@@ -601,19 +638,20 @@ func (c *conn) ackDurable(opID util.ID, lsn wal.LSN) *protocol.Message {
 // is already ACL-filtered when the pump encodes it.
 func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
 	docID := util.ID(req.Doc)
-	if _, err := c.srv.eng.OpenDocument(docID); err != nil {
+	if _, err := c.srv.cl.OpenDocument(docID); err != nil {
 		return fail(err)
 	}
 	if err := c.srv.checkRead(c.user, docID); err != nil {
 		return fail(err)
 	}
+	bus := c.srv.busFor(docID)
 	red := c.redactor(docID)
 	c.mu.Lock()
 	if _, dup := c.subs[docID]; dup {
 		c.mu.Unlock()
 		return &protocol.Message{OK: true}
 	}
-	sub := c.srv.eng.Bus().Subscribe(docID, awareness.SubscribeOpts{
+	sub := bus.Subscribe(docID, awareness.SubscribeOpts{
 		Filter:         red.subscribeFilter(),
 		QueueLimit:     c.srv.subQ,
 		OverflowPolicy: awareness.ShedAndResync,
@@ -621,9 +659,9 @@ func (c *conn) subscribe(req *protocol.Message) *protocol.Message {
 	c.subs[docID] = sub
 	c.mu.Unlock()
 
-	c.srv.eng.Bus().Join(docID, c.user, c.srv.eng.Clock().Now())
+	bus.Join(docID, c.user, c.srv.clock().Now())
 	go c.pump(docID, sub, red)
-	return &protocol.Message{OK: true, Seq: c.srv.eng.Bus().Seq(docID)}
+	return &protocol.Message{OK: true, Seq: bus.Seq(docID)}
 }
 
 // pump drains one subscription onto the wire until it closes. lastSent
@@ -731,17 +769,18 @@ func (c *conn) pushEvent(ev *awareness.Event) bool {
 // advisory "lagged" push — the subscription stays live and the client
 // fetches the full text. Returns false once the connection is torn down.
 func (c *conn) healGap(docID util.ID, gap awareness.Event, red *redactor, lastSent *uint64) bool {
+	bus := c.srv.busFor(docID)
 	if int(c.ver.Load()) < protocol.Version2 {
 		// v1 vocabulary has no replay: advisory lagged, full-text recovery.
 		if !c.pushLagged(docID) {
 			return false
 		}
-		if s := c.srv.eng.Bus().Seq(docID); s > *lastSent {
+		if s := bus.Seq(docID); s > *lastSent {
 			*lastSent = s
 		}
 		return true
 	}
-	evs, covered := c.srv.eng.Bus().EventsSince(docID, *lastSent)
+	evs, covered := bus.EventsSince(docID, *lastSent)
 	replayable := covered
 	for i := range evs {
 		if evs[i].Kind == awareness.EvUndo || evs[i].Kind == awareness.EvRedo {
@@ -753,10 +792,12 @@ func (c *conn) healGap(docID util.ID, gap awareness.Event, red *redactor, lastSe
 		if !c.pushLagged(docID) {
 			return false
 		}
-		if s := c.srv.eng.Bus().Seq(docID); s > *lastSent {
+		if s := bus.Seq(docID); s > *lastSent {
 			*lastSent = s
 		}
-		return true
+		// The full resync the lagged push triggers restores the text but
+		// not the roster; re-send it whole, same as the replay path.
+		return c.pushPresence(docID)
 	}
 	for i := range evs {
 		if evs[i].Seq <= *lastSent {
@@ -771,8 +812,43 @@ func (c *conn) healGap(docID util.ID, gap awareness.Event, red *redactor, lastSe
 		}
 		*lastSent = ev.Seq
 	}
+	// The retention ring holds only document events: the join/leave/cursor
+	// updates that were coalesced into the shed gap are NOT in the replay,
+	// so without this the healed subscriber's presence view would be stale
+	// forever. Push the current roster as one synthetic snapshot event;
+	// the client replaces its presence state wholesale.
+	if !c.pushPresence(docID) {
+		return false
+	}
 	c.srv.metrics.Heals.Add(1)
 	return true
+}
+
+// pushPresence sends a synthetic EvPresence snapshot carrying the
+// document's full current roster (one Batch item per present user: Text
+// the name, Pos the cursor). It is per-connection and never cached across
+// subscribers — the event was not published on the bus, so it carries a
+// private wire cache. Presence is user names and cursor positions, never
+// document text, so it bypasses the redactor exactly like the live
+// EvJoin/EvLeave/EvCursor stream does. Returns false once the connection
+// is torn down.
+func (c *conn) pushPresence(docID util.ID) bool {
+	bus := c.srv.busFor(docID)
+	ps := bus.Present(docID)
+	items := make([]awareness.BatchItem, len(ps))
+	for i, p := range ps {
+		items[i] = awareness.BatchItem{Kind: awareness.EvCursor, Text: p.User, Pos: p.Cursor}
+	}
+	ev := awareness.Event{
+		Seq:   bus.Seq(docID),
+		Doc:   docID,
+		Kind:  awareness.EvPresence,
+		N:     len(items),
+		Batch: items,
+		At:    c.srv.clock().Now(),
+		Wire:  &awareness.WireCache{},
+	}
+	return c.pushEvent(&ev)
 }
 
 // pushLagged sends the advisory "lagged" push: the client resubscribes
@@ -782,8 +858,8 @@ func (c *conn) pushLagged(docID util.ID) bool {
 		Type: protocol.TypePush,
 		Event: &protocol.Event{
 			Doc: uint64(docID), Kind: protocol.EvLagged,
-			Seq:  c.srv.eng.Bus().Seq(docID),
-			AtNS: c.srv.eng.Clock().Now().UnixNano(),
+			Seq:  c.srv.busFor(docID).Seq(docID),
+			AtNS: c.srv.clock().Now().UnixNano(),
 		},
 	}
 	if err := c.codec.Send(msg); err != nil {
@@ -801,7 +877,7 @@ func (c *conn) unsubscribe(doc util.ID) {
 	c.mu.Unlock()
 	if sub != nil {
 		sub.Close()
-		c.srv.eng.Bus().Leave(doc, user, c.srv.eng.Clock().Now())
+		c.srv.busFor(doc).Leave(doc, user, c.srv.clock().Now())
 	}
 }
 
@@ -860,9 +936,20 @@ func (c *conn) editBatch(req *protocol.Message) *protocol.Message {
 	}
 	c.srv.metrics.Batches.Add(1)
 	c.srv.metrics.Ops.Add(int64(len(ops)))
+	var keys int64
 	for i := range ops {
 		if ops[i].Kind == core.EditInsert {
-			c.srv.metrics.Keystrokes.Add(int64(len([]rune(ops[i].Text))))
+			keys += int64(len([]rune(ops[i].Text)))
+		}
+	}
+	if keys > 0 {
+		c.srv.metrics.Keystrokes.Add(keys)
+	}
+	if sc := c.srv.metrics.Shard(c.srv.cl.ShardFor(d.ID())); sc != nil {
+		sc.Batches.Add(1)
+		sc.Ops.Add(int64(len(ops)))
+		if keys > 0 {
+			sc.Keystrokes.Add(keys)
 		}
 	}
 	for i := len(results) - 1; i >= 0; i-- {
@@ -871,7 +958,7 @@ func (c *conn) editBatch(req *protocol.Message) *protocol.Message {
 			break
 		}
 	}
-	if err := c.srv.eng.WaitDurable(lsn); err != nil {
+	if err := c.srv.engineFor(d.ID()).WaitDurable(lsn); err != nil {
 		return fail(err)
 	}
 	out := make([]protocol.EditResult, len(results))
@@ -931,7 +1018,7 @@ func (c *conn) resync(req *protocol.Message) *protocol.Message {
 	if err := c.srv.checkRead(c.user, d.ID()); err != nil {
 		return fail(err)
 	}
-	evs, ok := c.srv.eng.Bus().EventsSince(d.ID(), req.Since)
+	evs, ok := c.srv.busFor(d.ID()).EventsSince(d.ID(), req.Since)
 	if ok {
 		replayable := true
 		for i := range evs {

@@ -1,0 +1,282 @@
+// Multi-shard serving and the presence-after-heal regression.
+//
+// The cluster tests run the server over several independent engine shards
+// (each with its own WAL and commit pipeline) and require the sharding to
+// be invisible on the wire: mixed-generation clients edit documents placed
+// on different shards and every replica converges byte-for-byte.
+//
+// The presence test pins the PR 7 heal bug: when a shed subscriber's gap
+// outlives the retention ring, the full resync restores text but the
+// presence updates coalesced into the gap are gone forever. The fix pushes
+// a synthetic roster snapshot after every heal.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tendax/internal/placement"
+	"tendax/internal/protocol"
+	"tendax/internal/util"
+)
+
+// clusterHarness starts a server over an in-memory N-shard placement
+// cluster and returns its address alongside the cluster.
+func clusterHarness(t *testing.T, shards int) (addr string, cl *placement.Cluster, srv *Server) {
+	t.Helper()
+	cl, err := placement.Open(placement.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = NewCluster(cl, nil)
+	srv.SetLogf(func(string, ...interface{}) {})
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		srv.Close()
+		cl.Close()
+	})
+	return a.String(), cl, srv
+}
+
+// TestMultiShardConvergence runs concurrent v1, v2 and v3 clients against
+// documents spread across four shards and requires (a) the shard count to
+// reach capability-negotiated clients, (b) every edit to be durably acked,
+// and (c) byte-for-byte convergence of every replica with the owning
+// shard's committed text.
+func TestMultiShardConvergence(t *testing.T) {
+	addr, cl, srv := clusterHarness(t, 4)
+
+	admin := login(t, addr, "admin", "")
+	if v, err := admin.Hello(); err != nil || v != protocol.Version3 {
+		t.Fatalf("v3 hello: v%d, %v", v, err)
+	}
+	if got := admin.ShardCount(); got != 4 {
+		t.Fatalf("hello advertised %d shards, want 4", got)
+	}
+
+	// Round-robin creation must touch every shard.
+	const nDocs = 8
+	docIDs := make([]uint64, nDocs)
+	onShard := make(map[int]int)
+	for i := range docIDs {
+		id, err := admin.CreateDocument(fmt.Sprintf("sharded-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docIDs[i] = id
+		onShard[cl.ShardFor(util.ID(id))]++
+	}
+	if len(onShard) != 4 {
+		t.Fatalf("%d docs landed on only %d of 4 shards (%v)", nDocs, len(onShard), onShard)
+	}
+
+	// One v2 (JSON-framed) and one v3 (binary-framed) typist per document,
+	// all racing across shard boundaries.
+	perTypist := 30
+	if testing.Short() {
+		perTypist = 10
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, nDocs*2)
+	typist := func(user string, ver int, docID uint64, text string) {
+		defer wg.Done()
+		c := login(t, addr, user, "")
+		if v, err := c.HelloVer(ver); err != nil || v != ver {
+			errs <- fmt.Errorf("%s hello: v%d, %v", user, v, err)
+			return
+		}
+		d, err := c.Open(docID)
+		if err != nil {
+			errs <- fmt.Errorf("%s open: %v", user, err)
+			return
+		}
+		s, err := d.Session()
+		if err != nil {
+			errs <- fmt.Errorf("%s session: %v", user, err)
+			return
+		}
+		for i := 0; i < perTypist; i++ {
+			if err := s.Type(text); err != nil {
+				errs <- fmt.Errorf("%s type: %v", user, err)
+				return
+			}
+		}
+		// Wait returns only after every flushed batch has been acked by
+		// the owning shard's commit pipeline — the durable-ack check.
+		if err := s.Wait(); err != nil {
+			errs <- fmt.Errorf("%s durable ack: %v", user, err)
+		}
+	}
+	for i, id := range docIDs {
+		wg.Add(2)
+		go typist(fmt.Sprintf("json-%d", i), protocol.Version2, id, "j")
+		go typist(fmt.Sprintf("bin-%d", i), protocol.Version3, id, "b")
+	}
+	// A v1 raw-wire client interleaves positional edits on two documents
+	// that live on different shards.
+	w := dialV1(t, addr)
+	w.call(&protocol.Message{Op: protocol.OpLogin, User: "legacy"})
+	for i := 0; i < perTypist; i++ {
+		w.call(&protocol.Message{Op: protocol.OpInsert, Doc: docIDs[0], Pos: 0, Text: "v"})
+		w.call(&protocol.Message{Op: protocol.OpInsert, Doc: docIDs[1], Pos: 0, Text: "w"})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The owning shard's committed text is the truth per document; every
+	// shard has processed exactly its own documents' keystrokes.
+	for i, id := range docIDs {
+		doc, err := cl.OpenDocument(util.ID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * perTypist
+		if i < 2 {
+			want += perTypist
+		}
+		if got := len(doc.Text()); got != want {
+			t.Fatalf("doc %d committed %d chars, want %d", i, got, want)
+		}
+		// Replica convergence: a fresh v3 reader must fetch the same bytes
+		// the shard holds.
+		ad, err := admin.Open(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ad.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != doc.Text() {
+			t.Fatalf("doc %d replica diverged from shard %d", i, cl.ShardFor(util.ID(id)))
+		}
+	}
+
+	// Per-shard metrics saw traffic on every shard.
+	for s := 0; s < 4; s++ {
+		sc := srv.Metrics().Shard(s)
+		if sc == nil {
+			t.Fatalf("shard %d counters not enabled", s)
+		}
+		if sc.Batches.Load() == 0 || sc.Keystrokes.Load() == 0 {
+			t.Fatalf("shard %d counted no traffic (batches=%d keys=%d)",
+				s, sc.Batches.Load(), sc.Keystrokes.Load())
+		}
+	}
+}
+
+// TestPresenceSnapshotAfterHeal is the regression test for the PR 7 heal
+// bug: presence churn shed along with edit events used to be lost when the
+// gap outlived the retention ring — the full resync restored the text but
+// the replica's roster kept departed users and missed arrivals forever.
+// The fix pushes a redacted Bus.Present snapshot after every heal.
+func TestPresenceSnapshotAfterHeal(t *testing.T) {
+	addr, srv, eng := throttleHarness(t, 0, 0, 4) // 4-event subscriber queues
+	bus := eng.Bus()
+	// Tiny ring: the gap is guaranteed to outlive retention, forcing the
+	// lagged fallback (full resync) rather than a ring replay.
+	bus.SetRetention(16)
+
+	reader := login(t, addr, "reader", "")
+	if _, err := reader.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	docID, err := reader.CreateDocument("heal-presence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := reader.Open(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := util.ID(docID)
+
+	// Prime the replica's roster with a peer it will have to forget.
+	bus.Join(doc, "peer-stale", time.Now())
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := rd.Peers()["peer-stale"]; ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never saw the primed peer; roster %v", rd.Peers())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Flood the document from the engine side so the 4-event queue sheds,
+	// then churn presence INSIDE the gap: the departure of peer-stale and
+	// the arrival of peer-new ride events the subscriber never receives,
+	// and 300 further edits push them far beyond the 16-event ring.
+	srvDoc, err := eng.OpenDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := srvDoc.InsertText("ghost", 0, "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bus.Leave(doc, "peer-stale", time.Now())
+	bus.Join(doc, "peer-new", time.Now())
+	bus.MoveCursor(doc, "peer-new", 7, time.Now())
+	for i := 0; i < 300; i++ {
+		if _, err := srvDoc.InsertText("ghost", 0, "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := srvDoc.Text()
+	wantSeq := bus.Seq(doc)
+	if err := rd.WaitSeq(wantSeq, 5000); err != nil {
+		t.Fatalf("replica stuck at seq %d, want %d: %v", rd.Seq(), wantSeq, err)
+	}
+	if got := rd.Text(); got != want {
+		t.Fatalf("replica text diverged after heal: %d chars, want %d", len(got), len(want))
+	}
+	if srv.Metrics().Sheds.Load() == 0 {
+		t.Skip("queue never overflowed on this machine; shed path not exercised")
+	}
+
+	// The roster must match the server's live presence map exactly:
+	// peer-stale gone, peer-new present at its last cursor.
+	expect := make(map[string]int)
+	for _, p := range bus.Present(doc) {
+		expect[p.User] = p.Cursor
+	}
+	if _, ok := expect["peer-new"]; !ok {
+		t.Fatal("server presence lost peer-new; test harness broken")
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		got := rd.Peers()
+		if peersEqual(got, expect) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("roster never healed:\n got  %v\n want %v", got, expect)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func peersEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

@@ -46,23 +46,65 @@ func IDFromBytes(b []byte) ID {
 
 // IDGen allocates process-unique, monotonically increasing IDs. The zero
 // value is ready to use and never returns NilID.
+//
+// A generator may optionally be partitioned with SetStride so that several
+// independent generators mint from disjoint residue classes: shard i of N
+// (offset=i, stride=N) issues i+1, i+1+N, i+1+2N, … and an ID's owning
+// shard is recoverable as (id-1) mod N. The zero value is the dense
+// single-shard case (offset 0, stride 1) and behaves exactly as before.
 type IDGen struct {
-	last atomic.Uint64
+	// count of IDs issued so far; the k-th issue is offset+1+(k-1)*stride.
+	// In the dense case that equals k, so count doubles as "last ID".
+	count  atomic.Uint64
+	offset uint64
+	stride uint64 // 0 means 1 (zero value stays ready to use)
 }
 
-// Next returns a fresh ID strictly greater than all previously returned IDs.
-func (g *IDGen) Next() ID { return ID(g.last.Add(1)) }
+// SetStride partitions the generator onto a residue class: subsequent IDs
+// are offset+1, offset+1+stride, offset+1+2*stride, … Call it once, before
+// any ID is issued or seeded; offset must be < stride.
+func (g *IDGen) SetStride(offset, stride uint64) {
+	if stride == 0 || offset >= stride {
+		panic("util: IDGen.SetStride requires offset < stride")
+	}
+	if g.count.Load() != 0 {
+		panic("util: IDGen.SetStride after IDs were issued")
+	}
+	g.offset, g.stride = offset, stride
+}
+
+func (g *IDGen) strideOr1() uint64 {
+	if g.stride == 0 {
+		return 1
+	}
+	return g.stride
+}
+
+// Next returns a fresh ID strictly greater than all previously returned IDs
+// (within this generator's residue class).
+func (g *IDGen) Next() ID {
+	k := g.count.Add(1)
+	return ID(g.offset + 1 + (k-1)*g.strideOr1())
+}
 
 // Seed advances the generator so that subsequent IDs are strictly greater
 // than floor. It is used when reloading persisted state so new allocations
-// do not collide with stored IDs.
+// do not collide with stored IDs. The generator stays on its residue class:
+// floor may belong to any class (e.g. another shard's document referenced
+// from this shard's tables).
 func (g *IDGen) Seed(floor ID) {
+	stride := g.strideOr1()
+	var want uint64 // issued-count that puts the next ID above floor
+	if uint64(floor) > g.offset {
+		d := uint64(floor) - g.offset
+		want = (d + stride - 1) / stride
+	}
 	for {
-		cur := g.last.Load()
-		if cur >= uint64(floor) {
+		cur := g.count.Load()
+		if cur >= want {
 			return
 		}
-		if g.last.CompareAndSwap(cur, uint64(floor)) {
+		if g.count.CompareAndSwap(cur, want) {
 			return
 		}
 	}

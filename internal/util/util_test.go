@@ -56,6 +56,72 @@ func TestIDGenConcurrentUnique(t *testing.T) {
 	}
 }
 
+// TestIDGenStrideResidue pins the sharded-ID contract: shard i of N mints
+// only IDs congruent to i+1 mod N, generators on different residues never
+// collide, and each stays strictly increasing.
+func TestIDGenStrideResidue(t *testing.T) {
+	const shards = 4
+	seen := make(map[ID]int)
+	for s := 0; s < shards; s++ {
+		var g IDGen
+		g.SetStride(uint64(s), shards)
+		prev := NilID
+		for i := 0; i < 500; i++ {
+			id := g.Next()
+			if !prev.Less(id) {
+				t.Fatalf("shard %d: id %v not greater than %v", s, id, prev)
+			}
+			if got := int((uint64(id) - 1) % shards); got != s {
+				t.Fatalf("shard %d minted id %v in residue class %d", s, id, got)
+			}
+			if owner, dup := seen[id]; dup {
+				t.Fatalf("id %v minted by both shard %d and %d", id, owner, s)
+			}
+			seen[id] = s
+			prev = id
+		}
+	}
+}
+
+// TestIDGenStrideSeed checks Seed on a strided generator: the floor may
+// belong to any residue class, and the next ID is strictly above it while
+// staying on the generator's own class.
+func TestIDGenStrideSeed(t *testing.T) {
+	for s := uint64(0); s < 4; s++ {
+		for floor := ID(0); floor < 40; floor++ {
+			var g IDGen
+			g.SetStride(s, 4)
+			g.Seed(floor)
+			id := g.Next()
+			if id <= floor {
+				t.Fatalf("shard %d seed %v: next id %v not above floor", s, floor, id)
+			}
+			if got := (uint64(id) - 1) % 4; got != s {
+				t.Fatalf("shard %d seed %v: id %v left residue class (%d)", s, floor, id, got)
+			}
+			if uint64(id) > uint64(floor)+4 {
+				t.Fatalf("shard %d seed %v: id %v overshoots (first class member above floor expected)", s, floor, id)
+			}
+		}
+	}
+}
+
+// TestIDGenStrideOneIsDense pins backward compatibility: an explicit
+// (0, 1) stride behaves exactly like the zero value.
+func TestIDGenStrideOneIsDense(t *testing.T) {
+	var g IDGen
+	g.SetStride(0, 1)
+	for want := ID(1); want <= 100; want++ {
+		if id := g.Next(); id != want {
+			t.Fatalf("dense stride: got %v want %v", id, want)
+		}
+	}
+	g.Seed(500)
+	if id := g.Next(); id != 501 {
+		t.Fatalf("dense stride post-seed: got %v want 501", id)
+	}
+}
+
 func TestIDBytesRoundTripAndOrder(t *testing.T) {
 	f := func(a, b uint64) bool {
 		ida, idb := ID(a), ID(b)
