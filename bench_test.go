@@ -12,7 +12,7 @@ import (
 	"tendax/internal/core"
 	"tendax/internal/db"
 	"tendax/internal/folders"
-	"tendax/internal/lineage"
+	"tendax/internal/index"
 	"tendax/internal/mining"
 	"tendax/internal/search"
 	"tendax/internal/security"
@@ -256,10 +256,12 @@ func BenchmarkE6Lineage(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g, err := lineage.Build(eng)
+		svc, err := index.Open(eng)
 		if err != nil {
 			b.Fatal(err)
 		}
+		g := svc.Graph()
+		svc.Close()
 		if len(g.Edges) == 0 {
 			b.Fatal("empty graph")
 		}
@@ -276,10 +278,12 @@ func BenchmarkE7VisualMining(b *testing.B) {
 	}); err != nil {
 		b.Fatal(err)
 	}
-	g, err := lineage.Build(eng)
+	svc, err := index.Open(eng)
 	if err != nil {
 		b.Fatal(err)
 	}
+	g := svc.Graph()
+	svc.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		feats, err := mining.Extract(eng, g, eng.Clock().Now())
@@ -304,13 +308,14 @@ func BenchmarkE8Search(b *testing.B) {
 			}); err != nil {
 				b.Fatal(err)
 			}
-			ix, err := search.BuildIndex(eng)
+			svc, err := index.Open(eng)
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer svc.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ix.Search(search.Query{Terms: []string{"a"}, Rank: ranker, Limit: 10}); err != nil {
+				if _, err := svc.Query(search.Query{Terms: []string{"a"}, Rank: ranker, Limit: 10}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -30,10 +30,23 @@ import (
 	"tendax/internal/core"
 	"tendax/internal/db"
 	"tendax/internal/folders"
+	"tendax/internal/index"
 	"tendax/internal/lineage"
 	"tendax/internal/mining"
 	"tendax/internal/search"
 )
+
+// openGraph primes an incremental index service over the (offline, quiesced)
+// data directory and returns its lineage graph — the same structure the
+// daemon maintains live from the op stream.
+func openGraph(eng *core.Engine) (*lineage.Graph, error) {
+	svc, err := index.Open(eng)
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	return svc.Graph(), nil
+}
 
 func main() {
 	data := flag.String("data", "", "TeNDaX data directory (required)")
@@ -72,7 +85,7 @@ func run(eng *core.Engine, args []string, dotPath string) error {
 		}
 		return nil
 	case "lineage":
-		g, err := lineage.Build(eng)
+		g, err := openGraph(eng)
 		if err != nil {
 			return err
 		}
@@ -93,7 +106,7 @@ func run(eng *core.Engine, args []string, dotPath string) error {
 		if err != nil {
 			return err
 		}
-		g, err := lineage.Build(eng)
+		g, err := openGraph(eng)
 		if err != nil {
 			return err
 		}
@@ -110,7 +123,7 @@ func run(eng *core.Engine, args []string, dotPath string) error {
 		fmt.Printf("transitive ancestry: %d documents\n", len(g.TransitiveSources(doc.ID())))
 		return nil
 	case "mining":
-		g, err := lineage.Build(eng)
+		g, err := openGraph(eng)
 		if err != nil {
 			return err
 		}
@@ -155,11 +168,12 @@ func run(eng *core.Engine, args []string, dotPath string) error {
 		if len(args) > 2 {
 			ranker = search.Ranker(args[2])
 		}
-		ix, err := search.BuildIndex(eng)
+		svc, err := index.Open(eng)
 		if err != nil {
 			return err
 		}
-		results, err := ix.Search(search.Query{Terms: []string{args[1]}, Rank: ranker, Limit: 10})
+		defer svc.Close()
+		results, err := svc.Query(search.Query{Terms: []string{args[1]}, Rank: ranker, Limit: 10})
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ import (
 	"tendax/internal/core"
 	"tendax/internal/db"
 	"tendax/internal/folders"
+	"tendax/internal/index"
 	"tendax/internal/lineage"
 	"tendax/internal/mining"
 	"tendax/internal/placement"
@@ -487,11 +488,13 @@ func runE6(quick bool, out string) error {
 		return err
 	}
 	t0 := time.Now()
-	g, err := lineage.Build(eng)
+	svc, err := index.Open(eng)
 	if err != nil {
 		return err
 	}
+	g := svc.Graph()
 	build := time.Since(t0)
+	defer svc.Close()
 	if len(g.Edges) != wantEdges {
 		return fmt.Errorf("edge count %d != generated %d", len(g.Edges), wantEdges)
 	}
@@ -536,10 +539,12 @@ func runE7(quick bool, _ string) error {
 		}); err != nil {
 			return err
 		}
-		g, err := lineage.Build(eng)
+		svc, err := index.Open(eng)
 		if err != nil {
 			return err
 		}
+		g := svc.Graph()
+		svc.Close()
 		t0 := time.Now()
 		feats, err := mining.Extract(eng, g, eng.Clock().Now())
 		if err != nil {
@@ -600,7 +605,7 @@ func runE8(quick bool, _ string) error {
 			}
 		}
 		t0 := time.Now()
-		ix, err := search.BuildIndex(eng)
+		svc, err := index.Open(eng)
 		if err != nil {
 			return err
 		}
@@ -610,7 +615,7 @@ func runE8(quick bool, _ string) error {
 			var rec workload.LatencyRecorder
 			for i := 0; i < 20; i++ {
 				t0 := time.Now()
-				if _, err := ix.Search(search.Query{Terms: []string{"a"}, Rank: r, Limit: 10}); err != nil {
+				if _, err := svc.Query(search.Query{Terms: []string{"a"}, Rank: r, Limit: 10}); err != nil {
 					return 0, err
 				}
 				rec.Record(time.Since(t0))
@@ -634,6 +639,7 @@ func runE8(quick bool, _ string) error {
 			return err
 		}
 		fmt.Printf("%-8d %12v %12v %12v %12v %12v\n", n, indexTime, rel, newest, cited, read)
+		svc.Close()
 		if err := database.Close(); err != nil {
 			return err
 		}
@@ -2183,4 +2189,164 @@ func e18Storm(n, writers, keysPer, ackEvery int, syncful bool) (rate float64, el
 	}
 	elapsed = time.Since(start)
 	return float64(writers*keysPer) / elapsed.Seconds(), elapsed, nil
+}
+
+// E19: incremental index maintenance vs. rescan. The claim under test is
+// the one the index subsystem exists for: folding the op stream keeps
+// per-keystroke maintenance cost independent of corpus size (each fold is
+// O(1) bookkeeping plus an O(doc) re-tokenize of the edited document),
+// while the legacy rescan constructors grow with the corpus. Reported per
+// corpus size: per-keystroke cost with the indexer live and quiesced after
+// every key, full rescan time (search.BuildIndex + lineage.Build), query
+// p50 under sustained write load, and the freshness lag right after an
+// unsynced burst.
+func runE19(quick bool, _ string) error {
+	small, big := 40, 400
+	keys, queries := 300, 60
+	if quick {
+		small, big = 20, 200
+		keys, queries = 120, 30
+	}
+	fmt.Printf("%-8s %16s %14s %14s %10s\n",
+		"docs", "per-key cost", "rescan", "query p50", "lag")
+	keyUS := map[int]float64{}
+	rebuildMS := map[int]float64{}
+	var p50US, burstDrainMS float64
+	var burstLag int
+	for _, n := range []int{small, big} {
+		eng, database, err := memEngine()
+		if err != nil {
+			return err
+		}
+		docs, err := workload.BuildCorpus(eng, workload.CorpusSpec{
+			Docs: n, Users: 8, MeanSize: 150, ReadRatio: 0.2, Seed: 47,
+		})
+		if err != nil {
+			return err
+		}
+		svc, err := index.Open(eng)
+		if err != nil {
+			return err
+		}
+		svc.Sync()
+
+		// Typing burst, quiescing the indexer after every keystroke so the
+		// measured window includes each fold and re-tokenize — the full
+		// maintenance bill a keystroke can ever incur.
+		target := docs[0]
+		t0 := time.Now()
+		for i := 0; i < keys; i++ {
+			if _, err := target.AppendText("user0", "x"); err != nil {
+				return err
+			}
+			svc.Sync()
+		}
+		perKey := time.Since(t0) / time.Duration(keys)
+		keyUS[n] = float64(perKey.Microseconds())
+
+		// Freshness lag: touch many documents without quiescing, then read
+		// the dirty-doc count before and after Sync drains it.
+		burst := len(docs)
+		if burst > 50 {
+			burst = 50
+		}
+		var maxLag int
+		for i := 0; i < burst; i++ {
+			if _, err := docs[i].AppendText("user1", " y"); err != nil {
+				return err
+			}
+			if l := svc.Stats().Lag; l > maxLag {
+				maxLag = l
+			}
+		}
+		d0 := time.Now()
+		svc.Sync()
+		drain := time.Since(d0)
+		if after := svc.Stats().Lag; after != 0 {
+			return fmt.Errorf("e19: lag %d after Sync (want 0)", after)
+		}
+		if n == big {
+			burstLag = maxLag
+			burstDrainMS = float64(drain.Microseconds()) / 1e3
+		}
+
+		// Query p50 while a writer hammers the corpus: queries are served
+		// from the maintained structures, never a rescan.
+		if n == big {
+			stop := make(chan struct{})
+			werr := make(chan error, 1)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := docs[1+i%8].AppendText("user2", "w"); err != nil {
+						werr <- err
+						return
+					}
+				}
+			}()
+			var rec workload.LatencyRecorder
+			for i := 0; i < queries; i++ {
+				q0 := time.Now()
+				if _, err := svc.Query(search.Query{Terms: []string{"a"}, Limit: 10}); err != nil {
+					close(stop)
+					wg.Wait()
+					return err
+				}
+				rec.Record(time.Since(q0))
+			}
+			close(stop)
+			wg.Wait()
+			select {
+			case err := <-werr:
+				return err
+			default:
+			}
+			p50US = float64(rec.Percentile(50).Microseconds())
+		}
+		svc.Close()
+
+		// The rescan this subsystem retires: full BuildIndex + lineage walk.
+		t0 = time.Now()
+		if _, err := search.BuildIndex(eng); err != nil {
+			return err
+		}
+		if _, err := lineage.Build(eng); err != nil {
+			return err
+		}
+		rebuild := time.Since(t0)
+		rebuildMS[n] = float64(rebuild.Microseconds()) / 1e3
+
+		fmt.Printf("%-8d %16v %14v %14s %10d\n",
+			n, perKey, rebuild.Round(time.Microsecond),
+			map[bool]string{true: fmt.Sprintf("%.0fµs", p50US), false: "-"}[n == big], maxLag)
+		if err := database.Close(); err != nil {
+			return err
+		}
+	}
+	flat := keyUS[big] / keyUS[small]
+	growth := rebuildMS[big] / rebuildMS[small]
+	fmt.Printf("per-key cost at 10x corpus: %.2fx; rescan at 10x corpus: %.2fx\n", flat, growth)
+	// The shape gate: maintenance must stay flat while the rescan grows.
+	// Generous bounds — this is a shape check, not a microbenchmark.
+	if flat > 3.0 {
+		return fmt.Errorf("e19: per-keystroke cost grew %.2fx across a 10x corpus (want ~flat)", flat)
+	}
+	if growth < 2.0 {
+		return fmt.Errorf("e19: rescan only grew %.2fx across a 10x corpus — the comparison has lost its contrast", growth)
+	}
+	emit("e19", "keystroke_us_small", keyUS[small], "us", "lower")
+	emit("e19", "keystroke_us_10x", keyUS[big], "us", "lower")
+	emit("e19", "keystroke_flatness_10x", flat, "x", "lower")
+	emit("e19", "rebuild_ms_10x", rebuildMS[big], "ms", "lower")
+	emit("e19", "query_p50_us_under_write_load", p50US, "us", "lower")
+	emit("e19", "burst_lag_docs", float64(burstLag), "docs", "lower")
+	emit("e19", "burst_drain_ms", burstDrainMS, "ms", "lower")
+	return nil
 }

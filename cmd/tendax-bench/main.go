@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e18 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e19 or all)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast smoke run")
 	out := flag.String("out", "lineage.dot", "output path for the E6 lineage DOT file")
 	jsonOut := flag.String("json", "", "write machine-readable metrics of the experiments run to this file")
@@ -49,6 +49,7 @@ func main() {
 		{"e16", "Binary wire codec (v3) and the allocation-lean commit path", runE16},
 		{"e17", "Multi-tenant event stream: shed-and-resync storm and typed throttling", runE17},
 		{"e18", "Per-process engine sharding: cross-shard typing storm", runE18},
+		{"e19", "Incremental index maintenance vs. rescan; query p50 under write load", runE19},
 	}
 	ran := 0
 	for _, r := range runs {

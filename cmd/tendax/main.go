@@ -159,6 +159,46 @@ func run(c *client.Client, args []string) error {
 			fmt.Printf("%-8d %-10s %-8s %4d chars%s\n", h.ID, h.User, h.Kind, h.Chars, undone)
 		}
 		return nil
+	case "search":
+		if len(rest) == 0 {
+			return fmt.Errorf("search needs at least one term")
+		}
+		hits, err := c.Search(client.SearchQuery{Terms: rest, Limit: 20})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-24s %10s  %s\n", "ID", "NAME", "SCORE", "SNIPPET")
+		for _, h := range hits {
+			fmt.Printf("%-8d %-24s %10.4f  %s\n", h.Doc.ID, h.Doc.Name, h.Score, h.Snippet)
+		}
+		return nil
+	case "sources":
+		d, err := open(c, rest, 1)
+		if err != nil {
+			return err
+		}
+		pos, n := 0, d.Len()
+		if len(rest) >= 3 {
+			if pos, err = strconv.Atoi(rest[1]); err != nil {
+				return err
+			}
+			if n, err = strconv.Atoi(rest[2]); err != nil {
+				return err
+			}
+		}
+		refs, err := c.Provenance(uint64(d.ID()), pos, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %-24s %8s %8s %6s\n", "SRC", "NAME", "FROM", "TO", "CHARS")
+		for _, r := range refs {
+			name := r.SrcName
+			if r.SrcDoc == 0 {
+				name = "(typed here)"
+			}
+			fmt.Printf("%-10d %-24s %8d %8d %6d\n", r.SrcDoc, name, r.From, r.To, r.Chars)
+		}
+		return nil
 	case "follow":
 		d, err := open(c, rest, 1)
 		if err != nil {

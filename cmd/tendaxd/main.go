@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"tendax/internal/db"
+	"tendax/internal/index"
 	"tendax/internal/placement"
 	"tendax/internal/security"
 	"tendax/internal/server"
@@ -63,6 +64,10 @@ func main() {
 		"subscribe operations per second allowed per connection (0 = unlimited)")
 	subQueue := flag.Int("sub-queue", 0,
 		"per-subscriber event queue bound; overflow sheds and heals via delta resync (0 = default 256)")
+	enableIndex := flag.Bool("index", true,
+		"run the incremental search/lineage indexers (the query op answers from them)")
+	indexQueue := flag.Int("index-queue", 0,
+		"per-document event queue bound for the indexer subscriptions; overflow sheds and re-primes from a snapshot (0 = default 256)")
 	pprofAddr := flag.String("pprof", "",
 		"debug HTTP listen address for /debug/pprof/ and /metrics (empty = disabled)")
 	flag.Parse()
@@ -107,6 +112,16 @@ func main() {
 			if err := sec.CreateUser(name, pw); err != nil {
 				log.Printf("tendaxd: seed user: %v", err)
 			}
+		}
+	}
+
+	if *enableIndex {
+		var iopts []index.Option
+		if *indexQueue > 0 {
+			iopts = append(iopts, index.WithQueueLimit(*indexQueue))
+		}
+		if err := cl.StartIndexers(iopts...); err != nil {
+			log.Fatalf("tendaxd: indexers: %v", err)
 		}
 	}
 

@@ -14,7 +14,7 @@ import (
 	"tendax/internal/core"
 	"tendax/internal/db"
 	"tendax/internal/folders"
-	"tendax/internal/lineage"
+	"tendax/internal/index"
 	"tendax/internal/mining"
 	"tendax/internal/search"
 	"tendax/internal/workload"
@@ -41,11 +41,17 @@ func main() {
 	}
 	fmt.Printf("built %d documents with %d paste edges\n\n", len(docs), edges)
 
-	// --- Data lineage (Figure 1) ---
-	g, err := lineage.Build(eng)
+	// One incremental index service answers both the lineage and the
+	// search questions below; opened here after the edits, it primes from
+	// snapshots — opened before them, it would have folded the op stream.
+	svc, err := index.Open(eng)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer svc.Close()
+
+	// --- Data lineage (Figure 1) ---
+	g := svc.Graph()
 	fmt.Println("lineage edges (who pasted from whom):")
 	fmt.Print(g.Render())
 	if err := g.CheckAcyclic(); err != nil {
@@ -58,7 +64,7 @@ func main() {
 	fmt.Printf("leaf %q has %d transitive sources\n\n", leaf.Name(), len(anc))
 
 	// Character-exact provenance of a pasted range in the leaf.
-	refs, err := lineage.ProvenanceOfRange(eng, leaf.ID(), 0, leaf.Len())
+	refs, err := svc.Provenance(leaf.ID(), 0, leaf.Len())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,11 +107,7 @@ func main() {
 	fmt.Print(mining.Scatter(pts, 64, 14))
 
 	// --- Search with ranking options ---
-	ix, err := search.BuildIndex(eng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	results, err := ix.Search(search.Query{Rank: search.ByMostCited, Limit: 5})
+	results, err := svc.Query(search.Query{Rank: search.ByMostCited, Limit: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

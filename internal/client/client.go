@@ -265,9 +265,10 @@ func (c *Client) HelloVer(max int) (int, error) {
 	// against servers of any generation: JSON decoders skip unknown
 	// fields. CapTypedErrors tells the server this client decodes the
 	// Code/RetryMS bits that postdate the first binary release;
-	// CapShardInfo that it decodes the Shards routing-metadata bit.
+	// CapShardInfo that it decodes the Shards routing-metadata bit;
+	// CapQuery that it decodes the query response bits (Hits/Sources).
 	resp, err := c.call(&protocol.Message{Op: protocol.OpHello, Ver: max,
-		Caps: protocol.CapTypedErrors | protocol.CapShardInfo})
+		Caps: protocol.CapTypedErrors | protocol.CapShardInfo | protocol.CapQuery})
 	if err != nil {
 		// Only a server that ANSWERED with an error — i.e. an old server
 		// rejecting the unknown op — negotiates down to v1. Transport
@@ -339,6 +340,50 @@ func (c *Client) ListDocuments() ([]protocol.DocInfo, error) {
 		return nil, err
 	}
 	return resp.Docs, nil
+}
+
+// SearchQuery is the client-side shape of a full-text search request,
+// answered from the server's incremental index.
+type SearchQuery struct {
+	Terms      []string // AND semantics; tokenized server-side conventions apply
+	InHeadings bool     // restrict match to heading spans
+	Rank       string   // "relevance" (default), "newest", "most-cited", "most-read"
+	Limit      int      // 0 = no limit
+}
+
+// Search runs a full-text query against the server's incremental index.
+// Results are ACL-filtered server-side: documents the user cannot read are
+// absent, and snippets are re-derived through the user's character-level
+// read mask. Requires a server with indexers running and (on v3) the
+// CapQuery capability, which Dial/Hello advertise by default.
+func (c *Client) Search(q SearchQuery) ([]protocol.SearchHit, error) {
+	resp, err := c.call(&protocol.Message{Op: protocol.OpQuery, Query: &protocol.QueryReq{
+		Kind:       protocol.QuerySearch,
+		Terms:      q.Terms,
+		InHeadings: q.InHeadings,
+		Rank:       q.Rank,
+		Limit:      q.Limit,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hits, nil
+}
+
+// Provenance reports where the characters in [pos, pos+n) of a document
+// came from, as maximal same-source runs — the lineage half of the query
+// surface. Runs the user is denied from reading are clipped server-side.
+func (c *Client) Provenance(docID uint64, pos, n int) ([]protocol.SourceRef, error) {
+	resp, err := c.call(&protocol.Message{Op: protocol.OpQuery, Query: &protocol.QueryReq{
+		Kind: protocol.QuerySources,
+		Doc:  docID,
+		Pos:  pos,
+		N:    n,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Sources, nil
 }
 
 // Doc is a live local replica of one document.

@@ -497,6 +497,13 @@ func (d *Document) SetState(user, state string) error {
 	}
 	d.state = state
 	d.modified = now
+	// Workflow transitions change ranking-relevant metadata (Modified,
+	// State) without touching the text, so they must still reach the
+	// awareness stream: the incremental indexer refreshes metadata from
+	// exactly these events.
+	d.publishEventLocked(awareness.Event{
+		Doc: d.id, Kind: awareness.EvWorkflow, User: user, Name: state, At: now,
+	})
 	return nil
 }
 

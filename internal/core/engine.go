@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -66,6 +67,12 @@ type Engine struct {
 
 	mu   sync.Mutex
 	docs map[util.ID]*Document
+
+	// Document-creation observer (SetDocObserver): the incremental
+	// indexer registers here so documents born after it primed are
+	// picked up without rescanning the docs table.
+	obsMu  sync.RWMutex
+	docObs func(id util.ID, external bool)
 
 	// Background tombstone compactor (StartCompactor / StopCompactor).
 	compactMu   sync.Mutex
@@ -336,7 +343,27 @@ func (e *Engine) CreateDocument(user, name string) (*Document, error) {
 	e.mu.Lock()
 	e.docs[id] = d
 	e.mu.Unlock()
+	e.notifyDocObserver(id, false)
 	return d, nil
+}
+
+// SetDocObserver registers fn to run after every successful
+// CreateDocument / CreateExternalSource commit (external tells which).
+// One observer at a time; nil unregisters. fn runs on the creating
+// goroutine and must not call back into document mutation.
+func (e *Engine) SetDocObserver(fn func(id util.ID, external bool)) {
+	e.obsMu.Lock()
+	e.docObs = fn
+	e.obsMu.Unlock()
+}
+
+func (e *Engine) notifyDocObserver(id util.ID, external bool) {
+	e.obsMu.RLock()
+	fn := e.docObs
+	e.obsMu.RUnlock()
+	if fn != nil {
+		fn(id, external)
+	}
 }
 
 // CreateExternalSource registers an external document (something outside
@@ -353,6 +380,7 @@ func (e *Engine) CreateExternalSource(name string) (util.ID, error) {
 	if err != nil {
 		return util.NilID, err
 	}
+	e.notifyDocObserver(id, true)
 	return id, nil
 }
 
@@ -457,7 +485,11 @@ func (e *Engine) DocInfoByID(id util.ID) (DocInfo, error) {
 func docInfoFromRow(row db.Row) DocInfo {
 	var authors []string
 	if s := row[8].(string); s != "" {
+		// The row stores authors in first-edit order; Document.Info sorts.
+		// Normalise here so both metadata paths answer identically (the
+		// incremental indexer refreshes from the row, off the doc lock).
 		authors = strings.Split(s, ",")
+		sort.Strings(authors)
 	}
 	return DocInfo{
 		ID:         util.ID(row[0].(int64)),

@@ -1,0 +1,491 @@
+// Package index maintains the search and lineage structures incrementally
+// from the awareness op stream — the Telex-style inversion of the seed's
+// rescan constructors (search.BuildIndex, lineage.Build): derived state is
+// folded forward from the durable action log in O(ops) instead of being
+// recomputed from materialized documents in O(corpus).
+//
+// A Service subscribes to every document's bus with the multi-tenant
+// SubscribeOpts API (bounded queue, shed-and-resync on overflow) and
+// resolves any text or character metadata it needs against immutable
+// DocSnapshots, so indexing never contends on a document write lock.
+// Character instances are keyed by their stable IDs (the Sun et al.
+// argument): an insert event names exactly the instances it created, which
+// is what makes lineage folding exact under concurrency, shedding and
+// replay — counting is idempotent per instance ID.
+//
+// Freshness model: folding an event is O(1) bookkeeping (plus O(new
+// instances) for lineage); the text of a dirty document is re-tokenized
+// from its latest snapshot by a coalescing refresher, and every Query
+// first drains the dirty set — so queries are exact with respect to all
+// folded events, while a typing burst costs one re-tokenize, not one per
+// keystroke.
+package index
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tendax/internal/awareness"
+	"tendax/internal/core"
+	"tendax/internal/lineage"
+	"tendax/internal/search"
+	"tendax/internal/texttree"
+	"tendax/internal/util"
+)
+
+// Option configures a Service (the client.Dial functional-option pattern).
+type Option func(*options)
+
+type options struct {
+	queueLimit int
+}
+
+// WithQueueLimit bounds each per-document subscription queue; overflow
+// sheds and heals from the op ring (tests use tiny limits to force the
+// gap-heal path). 0 keeps the bus default.
+func WithQueueLimit(n int) Option {
+	return func(o *options) { o.queueLimit = n }
+}
+
+// Stats is a point-in-time view of indexer progress for /metrics.
+type Stats struct {
+	Docs    int   `json:"docs"`        // documents under maintenance
+	Applied int64 `json:"applied_ops"` // events folded since Open
+	Heals   int64 `json:"heals"`       // gap heals (shed subscriptions resynced)
+	Lag     int   `json:"lag_docs"`    // docs folded but not yet re-tokenized
+}
+
+// Service is the incremental index over one engine: the live replacement
+// for the search.BuildIndex / lineage.Build rescans. All reads go through
+// Query/Provenance/Chain/Graph; Close detaches from the bus.
+type Service struct {
+	eng  *core.Engine
+	opts options
+
+	mu      sync.Mutex
+	ix      *search.Index
+	g       *lineage.Graph
+	cites   map[util.ID]int
+	counted map[util.ID]bool // char instances already folded into g
+	dirty   map[util.ID]bool // docs whose text/metadata needs re-resolving
+	states  map[util.ID]*docState
+	closed  bool
+
+	kick chan struct{} // refresher wakeup (capacity 1)
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	applied atomic.Int64
+	heals   atomic.Int64
+}
+
+type docState struct {
+	d   *core.Document
+	sub *awareness.Subscription
+	seq uint64 // highest bus sequence folded for this doc
+}
+
+// Open attaches an incremental indexer to eng: it primes from the current
+// document set (one immutable snapshot per document) and then follows the
+// awareness stream. New documents created on eng are picked up
+// automatically.
+func Open(eng *core.Engine, opts ...Option) (*Service, error) {
+	s := &Service{
+		eng:     eng,
+		ix:      search.New(eng),
+		g:       lineage.NewGraph(),
+		cites:   make(map[util.ID]int),
+		counted: make(map[util.ID]bool),
+		dirty:   make(map[util.ID]bool),
+		states:  make(map[util.ID]*docState),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(&s.opts)
+	}
+	// Register the observer before enumerating, so a document created
+	// concurrently with Open is seen at least once (addDoc is idempotent).
+	eng.SetDocObserver(func(id util.ID, external bool) {
+		if external {
+			s.addExternal(id)
+			return
+		}
+		if err := s.addDoc(id); err != nil {
+			// The document row committed, so this is a shutdown race;
+			// a later query will not see a half-indexed doc either way.
+			_ = err
+		}
+	})
+	infos, err := eng.ListDocuments()
+	if err != nil {
+		s.detach()
+		return nil, err
+	}
+	exts, err := eng.ExternalSources()
+	if err != nil {
+		s.detach()
+		return nil, err
+	}
+	s.mu.Lock()
+	for _, info := range exts {
+		s.g.EnsureNode(info.ID, info.Name, true)
+	}
+	s.mu.Unlock()
+	for _, info := range infos {
+		if err := s.addDoc(info.ID); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.refresher()
+	return s, nil
+}
+
+func (s *Service) detach() { s.eng.SetDocObserver(nil) }
+
+func (s *Service) addExternal(id util.ID) {
+	info, err := s.eng.DocInfoByID(id)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.g.EnsureNode(id, info.Name, true)
+	}
+	s.mu.Unlock()
+}
+
+// addDoc brings one document under maintenance: subscribe first, snapshot
+// second — every event not reflected in the snapshot then has a sequence
+// above the snapshot's, so the pump's seq guard makes the handoff exact.
+func (s *Service) addDoc(id util.ID) error {
+	d, err := s.eng.OpenDocument(id)
+	if err != nil {
+		return err
+	}
+	sub := s.eng.Bus().Subscribe(id, awareness.SubscribeOpts{
+		QueueLimit:     s.opts.queueLimit,
+		OverflowPolicy: awareness.ShedAndResync,
+	})
+	snap, seq := d.SnapshotSeq()
+
+	s.mu.Lock()
+	if s.closed || s.states[id] != nil {
+		s.mu.Unlock()
+		sub.Close()
+		return nil
+	}
+	st := &docState{d: d, sub: sub, seq: seq}
+	s.states[id] = st
+	s.primeLocked(id, snap)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.pump(id, st)
+	return nil
+}
+
+// primeLocked folds one document's current state into the index from an
+// immutable snapshot: the initial build for this doc, and the fallback
+// when a gap outlived the op ring. It is idempotent — counting is keyed
+// by character-instance ID, and text indexing replaces the doc's
+// contribution wholesale.
+func (s *Service) primeLocked(id util.ID, snap *core.DocSnapshot) {
+	snap.Tree().WalkAll(func(ch *texttree.Char, _ bool) bool {
+		s.countCharLocked(id, ch.ID, ch.SourceDoc, ch.Created)
+		return true
+	})
+	s.refreshDocLocked(id, snap)
+}
+
+// countCharLocked folds one character instance into the lineage graph,
+// exactly once per instance ID.
+func (s *Service) countCharLocked(doc, char, src util.ID, created time.Time) {
+	if s.counted[char] {
+		return
+	}
+	s.counted[char] = true
+	if s.g.AddChar(src, doc, created) {
+		s.cites[src]++
+		s.ix.SetCites(src, s.cites[src])
+	}
+}
+
+// pump is the per-document fold loop: one goroutine per subscription.
+func (s *Service) pump(id util.ID, st *docState) {
+	defer s.wg.Done()
+	for {
+		ev, ok := st.sub.Next()
+		if !ok {
+			return
+		}
+		s.fold(id, st, ev)
+	}
+}
+
+func (s *Service) fold(id util.ID, st *docState, ev awareness.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if ev.Kind == awareness.EvGap {
+		s.healLocked(id, st, ev)
+		return
+	}
+	if ev.Seq <= st.seq {
+		return // already reflected in the priming snapshot or a heal
+	}
+	st.seq = ev.Seq
+	s.foldEventLocked(id, ev)
+}
+
+// foldEventLocked applies one event's index consequences. Presence-class
+// events (join/leave/cursor/presence) carry no document state and are
+// skipped; everything else marks the doc dirty so the refresher
+// re-resolves text and metadata against the latest snapshot.
+func (s *Service) foldEventLocked(id util.ID, ev awareness.Event) {
+	switch ev.Kind {
+	case awareness.EvJoin, awareness.EvLeave, awareness.EvCursor, awareness.EvPresence:
+		return
+	case awareness.EvInsert, awareness.EvPaste:
+		s.countIDsLocked(id, ev.IDs)
+	case awareness.EvBatch:
+		for _, it := range ev.Batch {
+			if it.Kind == awareness.EvInsert || it.Kind == awareness.EvPaste {
+				s.countIDsLocked(id, it.IDs)
+			}
+		}
+	case awareness.EvUndo, awareness.EvRedo:
+		// Restores may resurface instances the tree already held; counting
+		// is per-instance-ID, so re-deriving from the snapshot suffices.
+	}
+	s.applied.Add(1)
+	s.markDirtyLocked(id)
+}
+
+// countIDsLocked resolves freshly created character instances against the
+// latest committed snapshot (the event may be older than the snapshot —
+// later snapshots still contain the instances, tombstoned or not).
+func (s *Service) countIDsLocked(id util.ID, ids []util.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	st := s.states[id]
+	if st == nil {
+		return
+	}
+	tree := st.d.Snapshot().Tree()
+	for _, cid := range ids {
+		if s.counted[cid] {
+			continue
+		}
+		ch, ok := tree.Char(cid)
+		if !ok {
+			continue // compacted away already; the heal recount owns it
+		}
+		s.countCharLocked(id, cid, ch.SourceDoc, ch.Created)
+	}
+}
+
+// healLocked recovers from a shed subscription: replay the missed events
+// from the op ring when it still covers the gap, otherwise re-prime the
+// document from a fresh snapshot (idempotent).
+func (s *Service) healLocked(id util.ID, st *docState, gap awareness.Event) {
+	s.heals.Add(1)
+	evs, ok := s.eng.Bus().EventsSince(id, st.seq)
+	if ok {
+		for _, ev := range evs {
+			if ev.Seq <= st.seq {
+				continue
+			}
+			st.seq = ev.Seq
+			s.foldEventLocked(id, ev)
+		}
+		return
+	}
+	// Gap outlived the ring: rebuild this document's contribution.
+	snap, seq := st.d.SnapshotSeq()
+	if seq < gap.Seq {
+		seq = gap.Seq
+	}
+	st.seq = seq
+	s.primeLocked(id, snap)
+}
+
+func (s *Service) markDirtyLocked(id util.ID) {
+	s.dirty[id] = true
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// refresher coalesces dirty documents: a burst of N events on one doc
+// costs one re-tokenize here, which is what keeps per-keystroke
+// maintenance cost flat as the corpus grows (E19).
+func (s *Service) refresher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+			s.mu.Lock()
+			s.flushDirtyLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Service) flushDirtyLocked() {
+	for id := range s.dirty {
+		delete(s.dirty, id)
+		st := s.states[id]
+		if st == nil {
+			continue
+		}
+		s.refreshDocLocked(id, st.d.Snapshot())
+	}
+}
+
+// refreshDocLocked re-resolves one document's text, headings and metadata
+// from an immutable snapshot and swaps them into the search index. The
+// docs-table row is read directly (DocInfoByID) so no document mutex is
+// ever taken on the index path.
+func (s *Service) refreshDocLocked(id util.ID, snap *core.DocSnapshot) {
+	info, err := s.eng.DocInfoByID(id)
+	if err != nil {
+		return // row gone mid-shutdown; nothing to index
+	}
+	text := snap.Text()
+	spans, err := snap.Spans()
+	if err != nil {
+		spans = nil
+	}
+	s.ix.UpdateDoc(info, text, search.HeadingText(text, spans, snap.SpanRange))
+	s.g.EnsureNode(id, info.Name, false)
+}
+
+// Sync blocks until every event published before the call has been folded
+// and re-tokenized: the strong-freshness barrier tests and benchmarks
+// quiesce on.
+func (s *Service) Sync() {
+	targets := make(map[util.ID]uint64)
+	s.mu.Lock()
+	for id := range s.states {
+		targets[id] = s.eng.Bus().Seq(id)
+	}
+	s.mu.Unlock()
+	for {
+		behind := false
+		s.mu.Lock()
+		for id, want := range targets {
+			st := s.states[id]
+			if st != nil && st.seq < want {
+				behind = true
+				break
+			}
+		}
+		if !behind {
+			s.flushDirtyLocked()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Query answers a search over the incrementally maintained index. Dirty
+// documents are re-resolved first, so results are exact with respect to
+// every event folded so far.
+func (s *Service) Query(q search.Query) ([]search.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("index: service closed")
+	}
+	s.flushDirtyLocked()
+	if q.Rank == search.ByMostRead {
+		// Reads are recorded without a bus event; resolve them at query
+		// time, exactly as a fresh rebuild would.
+		if err := s.ix.RefreshReads(); err != nil {
+			return nil, err
+		}
+	}
+	return s.ix.Search(q)
+}
+
+// Provenance explains where the visible range [pos, pos+n) of doc came
+// from (lineage.SourceRef runs, nearest first).
+func (s *Service) Provenance(doc util.ID, pos, n int) ([]lineage.SourceRef, error) {
+	return lineage.ProvenanceOfRange(s.eng, doc, pos, n)
+}
+
+// Chain returns the transitive pedigree of one character instance.
+func (s *Service) Chain(charID util.ID) ([]core.CharMeta, error) {
+	return lineage.ProvenanceChain(s.eng, charID)
+}
+
+// CitationCount returns how many distinct documents pasted from doc,
+// according to the incrementally maintained graph.
+func (s *Service) CitationCount(doc util.ID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cites[doc]
+}
+
+// Graph returns a deep copy of the maintained provenance graph (safe to
+// render or mine while writers keep typing).
+func (s *Service) Graph() *lineage.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := lineage.NewGraph()
+	for id, n := range s.g.Nodes {
+		g.Nodes[id] = &lineage.Node{Doc: n.Doc, Name: n.Name, External: n.External}
+	}
+	for k, e := range s.g.Edges {
+		cp := *e
+		g.Edges[k] = &cp
+	}
+	return g
+}
+
+// Stats reports indexer progress counters for /metrics.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	docs, lag := len(s.states), len(s.dirty)
+	s.mu.Unlock()
+	return Stats{
+		Docs:    docs,
+		Applied: s.applied.Load(),
+		Heals:   s.heals.Load(),
+		Lag:     lag,
+	}
+}
+
+// Close detaches from the bus and stops all maintenance goroutines.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	subs := make([]*awareness.Subscription, 0, len(s.states))
+	for _, st := range s.states {
+		subs = append(subs, st.sub)
+	}
+	s.mu.Unlock()
+	s.detach()
+	close(s.stop)
+	for _, sub := range subs {
+		sub.Close()
+	}
+	s.wg.Wait()
+}

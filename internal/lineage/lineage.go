@@ -37,7 +37,57 @@ type Graph struct {
 	eng   *core.Engine
 }
 
+// NewGraph returns an empty graph ready for incremental maintenance via
+// EnsureNode/AddChar (the index.Service path).
+func NewGraph() *Graph {
+	return &Graph{
+		Nodes: make(map[util.ID]*Node),
+		Edges: make(map[[2]util.ID]*Edge),
+	}
+}
+
+// EnsureNode upserts one document node (renames update the name in place).
+func (g *Graph) EnsureNode(doc util.ID, name string, external bool) {
+	if n := g.Nodes[doc]; n != nil {
+		n.Name = name
+		n.External = external
+		return
+	}
+	g.Nodes[doc] = &Node{Doc: doc, Name: name, External: external}
+}
+
+// AddChar folds one pasted character instance into the graph: the same
+// aggregation Build performs per chars-table row, applied edge-by-edge as
+// insert events arrive. It reports whether a new src→dst edge appeared
+// (the citation count for src just grew). Self and nil sources are
+// ignored, mirroring Build.
+func (g *Graph) AddChar(src, dst util.ID, at time.Time) (newEdge bool) {
+	if src.IsNil() || src == dst {
+		return false
+	}
+	key := [2]util.ID{src, dst}
+	e := g.Edges[key]
+	if e == nil {
+		e = &Edge{From: src, To: dst, FirstAt: at, LastAt: at, Chars: 1}
+		g.Edges[key] = e
+		return true
+	}
+	e.Chars++
+	if at.Before(e.FirstAt) {
+		e.FirstAt = at
+	}
+	if at.After(e.LastAt) {
+		e.LastAt = at
+	}
+	return false
+}
+
 // Build scans the character store and assembles the provenance graph.
+//
+// Deprecated: the scan is O(every character instance in the store); open
+// an incremental index.Service instead, which maintains the same graph in
+// O(ops) from the awareness stream. Build remains as the reference oracle
+// the equivalence tests rebuild from scratch.
 func Build(eng *core.Engine) (*Graph, error) {
 	g := &Graph{
 		Nodes: make(map[util.ID]*Node),

@@ -28,6 +28,7 @@ type Metrics struct {
 	Throttles  Counter // requests rejected by the rate limiter
 	QueueDepth Counter // events queued across all subscribers (gauge)
 	Heals      Counter // shed gaps healed from the retention ring
+	Queries    Counter // OpQuery requests served (search + provenance)
 
 	// shards holds per-engine-shard commit counters when the process
 	// runs more than one shard (EnableShards). Nil in single-shard mode,
@@ -38,6 +39,11 @@ type Metrics struct {
 	// counts at scrape time (the buckets live in the server's limiter;
 	// metrics only renders them).
 	userThrottles func() []UserThrottle
+
+	// indexStats, when set, supplies the incremental indexer's progress
+	// counters at scrape time (applied ops, freshness lag, gap heals);
+	// ok=false while the indexers are not running.
+	indexStats func() (IndexStats, bool)
 
 	mu          sync.Mutex
 	start       time.Time
@@ -84,6 +90,20 @@ func (m *Metrics) SetUserThrottles(fn func() []UserThrottle) {
 	m.userThrottles = fn
 }
 
+// IndexStats is the incremental indexer's scrape-time progress view.
+type IndexStats struct {
+	Docs       int   `json:"docs"`
+	AppliedOps int64 `json:"applied_ops"`
+	Heals      int64 `json:"heals"`
+	LagDocs    int   `json:"lag_docs"`
+}
+
+// SetIndexStats installs the indexer progress source; fn reporting
+// ok=false (indexers not started) keeps the scrape output unchanged.
+func (m *Metrics) SetIndexStats(fn func() (IndexStats, bool)) {
+	m.indexStats = fn
+}
+
 // Counter is an alias for atomic.Int64 so the protocol layer can take
 // *atomic.Int64 counters without importing this package.
 type Counter = atomic.Int64
@@ -119,6 +139,7 @@ type snapshot struct {
 	Throttles  int64   `json:"throttles"`
 	QueueDepth int64   `json:"queue_depth"`
 	Heals      int64   `json:"heals"`
+	Queries    int64   `json:"queries"`
 
 	// Derived over the window since the previous scrape.
 	WindowSec       float64 `json:"window_sec"`
@@ -130,6 +151,8 @@ type snapshot struct {
 	Shards []shardSnapshot `json:"shards,omitempty"`
 	// Per-user rate-limit rejections (absent without a rate limiter).
 	UserThrottles []UserThrottle `json:"user_throttles,omitempty"`
+	// Incremental indexer progress (absent while indexers are off).
+	Index *IndexStats `json:"index,omitempty"`
 }
 
 type shardSnapshot struct {
@@ -170,6 +193,7 @@ func (m *Metrics) Handler() http.Handler {
 			Throttles:       m.Throttles.Load(),
 			QueueDepth:      m.QueueDepth.Load(),
 			Heals:           m.Heals.Load(),
+			Queries:         m.Queries.Load(),
 			WindowSec:       window.Seconds(),
 			WindowedBatches: dBatches,
 		}
@@ -190,6 +214,11 @@ func (m *Metrics) Handler() http.Handler {
 		}
 		if m.userThrottles != nil {
 			snap.UserThrottles = m.userThrottles()
+		}
+		if m.indexStats != nil {
+			if ist, ok := m.indexStats(); ok {
+				snap.Index = &ist
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

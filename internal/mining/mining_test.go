@@ -1,4 +1,4 @@
-package mining
+package mining_test
 
 import (
 	"math"
@@ -8,7 +8,8 @@ import (
 
 	"tendax/internal/core"
 	"tendax/internal/db"
-	"tendax/internal/lineage"
+	"tendax/internal/index"
+	"tendax/internal/mining"
 	"tendax/internal/util"
 )
 
@@ -28,7 +29,7 @@ func fixture(t *testing.T) (*core.Engine, *util.FakeClock) {
 }
 
 func TestTokenize(t *testing.T) {
-	got := Tokenize("Hello, World! The answer is 42 — naïve?")
+	got := mining.Tokenize("Hello, World! The answer is 42 — naïve?")
 	want := []string{"hello", "world", "the", "answer", "is", "42", "naïve"}
 	if len(got) != len(want) {
 		t.Fatalf("Tokenize = %v", got)
@@ -38,7 +39,7 @@ func TestTokenize(t *testing.T) {
 			t.Fatalf("token %d = %q, want %q", i, got[i], want[i])
 		}
 	}
-	if len(Tokenize("")) != 0 {
+	if len(mining.Tokenize("")) != 0 {
 		t.Fatal("empty text produced tokens")
 	}
 }
@@ -52,7 +53,7 @@ func TestCorpusTFIDFAndTopTerms(t *testing.T) {
 	d3, _ := eng.CreateDocument("alice", "mixed")
 	d3.InsertText("alice", 0, "the editor stores text in a database")
 
-	c, err := BuildCorpus(eng)
+	c, err := mining.BuildCorpus(eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,18 +98,20 @@ func TestExtractFeatures(t *testing.T) {
 	clip, _ := a.Copy("dave", 0, 4)
 	b.Paste("dave", 0, clip)
 
-	g, err := lineage.Build(eng)
+	svc, err := index.Open(eng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	feats, err := Extract(eng, g, clock.Peek())
+	g := svc.Graph()
+	svc.Close()
+	feats, err := mining.Extract(eng, g, clock.Peek())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(feats) != 2 {
 		t.Fatalf("features for %d docs", len(feats))
 	}
-	var fa, fb *Features
+	var fa, fb *mining.Features
 	for i := range feats {
 		switch feats[i].Doc {
 		case a.ID():
@@ -133,20 +136,20 @@ func TestExtractFeatures(t *testing.T) {
 
 func TestLayoutSeparatesClusters(t *testing.T) {
 	// Two synthetic metadata clusters must stay separated in the plane.
-	var feats []Features
+	var feats []mining.Features
 	for i := 0; i < 10; i++ {
-		feats = append(feats, Features{
+		feats = append(feats, mining.Features{
 			Doc: util.ID(i + 1), Name: "small",
 			Size: 10 + float64(i), AgeDays: 1, Authors: 1, Edits: 2,
 		})
 	}
 	for i := 0; i < 10; i++ {
-		feats = append(feats, Features{
+		feats = append(feats, mining.Features{
 			Doc: util.ID(i + 100), Name: "large",
 			Size: 10000 + float64(i)*10, AgeDays: 300, Authors: 8, Edits: 500,
 		})
 	}
-	pts := Layout(feats)
+	pts := mining.Layout(feats)
 	if len(pts) != 20 {
 		t.Fatalf("%d points", len(pts))
 	}
@@ -165,24 +168,24 @@ func TestLayoutSeparatesClusters(t *testing.T) {
 	if dCent < 0.3 {
 		t.Fatalf("clusters not separated: centroid distance %f", dCent)
 	}
-	pres := NeighbourPreservation(feats, pts, 3)
+	pres := mining.NeighbourPreservation(feats, pts, 3)
 	if pres < 0.5 {
 		t.Fatalf("neighbour preservation %f too low", pres)
 	}
 }
 
 func TestLayoutDegenerateInputs(t *testing.T) {
-	if pts := Layout(nil); pts != nil {
+	if pts := mining.Layout(nil); pts != nil {
 		t.Fatal("nil input produced points")
 	}
-	one := []Features{{Doc: 1, Name: "only", Size: 5}}
-	pts := Layout(one)
+	one := []mining.Features{{Doc: 1, Name: "only", Size: 5}}
+	pts := mining.Layout(one)
 	if len(pts) != 1 {
 		t.Fatal("single doc not laid out")
 	}
 	// Identical docs must not NaN.
-	same := []Features{{Doc: 1, Size: 5}, {Doc: 2, Size: 5}, {Doc: 3, Size: 5}}
-	for _, p := range Layout(same) {
+	same := []mining.Features{{Doc: 1, Size: 5}, {Doc: 2, Size: 5}, {Doc: 3, Size: 5}}
+	for _, p := range mining.Layout(same) {
 		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
 			t.Fatal("NaN coordinates for degenerate input")
 		}
@@ -190,12 +193,12 @@ func TestLayoutDegenerateInputs(t *testing.T) {
 }
 
 func TestScatterRendering(t *testing.T) {
-	pts := []Point{
+	pts := []mining.Point{
 		{Doc: 1, Name: "alpha", X: 0, Y: 0},
 		{Doc: 2, Name: "beta", X: 1, Y: 1},
 		{Doc: 3, Name: "gamma", X: 0.5, Y: 0.5},
 	}
-	s := Scatter(pts, 40, 10)
+	s := mining.Scatter(pts, 40, 10)
 	if !strings.Contains(s, "a") || !strings.Contains(s, "b") || !strings.Contains(s, "g") {
 		t.Fatalf("scatter missing marks:\n%s", s)
 	}
@@ -222,16 +225,18 @@ func TestEndToEndVisualMining(t *testing.T) {
 		d.RecordRead("alice")
 		d.RecordRead("dave")
 	}
-	g, _ := lineage.Build(eng)
-	feats, err := Extract(eng, g, clock.Peek())
+	svc, _ := index.Open(eng)
+	g := svc.Graph()
+	svc.Close()
+	feats, err := mining.Extract(eng, g, clock.Peek())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts := Layout(feats)
+	pts := mining.Layout(feats)
 	if len(pts) != 10 {
 		t.Fatalf("%d points", len(pts))
 	}
-	out := Scatter(pts, 60, 16)
+	out := mining.Scatter(pts, 60, 16)
 	if !strings.Contains(out, "10 documents") {
 		t.Fatal("scatter caption wrong")
 	}

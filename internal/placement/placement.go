@@ -31,6 +31,7 @@ import (
 	"tendax/internal/awareness"
 	"tendax/internal/core"
 	"tendax/internal/db"
+	"tendax/internal/index"
 	"tendax/internal/util"
 )
 
@@ -63,6 +64,10 @@ type Shard struct {
 type Cluster struct {
 	shards []*Shard
 	next   atomic.Uint64 // round-robin cursor for CreateDocument
+
+	// Incremental query subsystem (StartIndexers): one index.Service per
+	// shard plus the cross-shard fan-out/merge handle.
+	idx atomic.Pointer[index.Cluster]
 }
 
 // Open opens (creating directories and schemas as needed) every shard.
@@ -241,7 +246,33 @@ func (c *Cluster) Each(fn func(s *Shard)) {
 
 // Close closes every shard's database (skipping wrapped engines, whose
 // databases the caller owns), joining any errors.
+// StartIndexers opens one incremental index.Service per shard and the
+// fan-out/merge handle over them: the cluster's live query subsystem.
+// Call after Open (recovery done) and before serving queries.
+func (c *Cluster) StartIndexers(opts ...index.Option) error {
+	if c.idx.Load() != nil {
+		return nil
+	}
+	engines := make([]*core.Engine, len(c.shards))
+	for i, s := range c.shards {
+		engines[i] = s.Engine
+	}
+	ic, err := index.OpenCluster(engines, c.ShardFor, opts...)
+	if err != nil {
+		return err
+	}
+	c.idx.Store(ic)
+	return nil
+}
+
+// Index returns the incremental query handle, or nil when StartIndexers
+// has not run (the server then answers queries with a typed error).
+func (c *Cluster) Index() *index.Cluster { return c.idx.Load() }
+
 func (c *Cluster) Close() error {
+	if ic := c.idx.Swap(nil); ic != nil {
+		ic.Close()
+	}
 	var errs []error
 	for _, s := range c.shards {
 		if s.DB == nil {

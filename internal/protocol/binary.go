@@ -29,6 +29,7 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/bits"
 	"unicode/utf8"
 )
@@ -77,6 +78,10 @@ func init() {
 	// append-only: new symbols go after every existing one so older
 	// encoders' indices stay valid.
 	add(ErrThrottled)
+	// Appended for the incremental query subsystem (CapQuery): the query
+	// op, its typed gate error, the query kinds and the ranker names.
+	add(OpQuery, ErrUnsupported, QuerySearch, QuerySources,
+		"relevance", "newest", "most-cited", "most-read")
 }
 
 // --- primitive append helpers -------------------------------------------
@@ -956,6 +961,246 @@ func (d *bdec) historyOp(h *HistoryOp) error {
 	return nil
 }
 
+// Floats (search scores) travel as the IEEE-754 bit pattern in a uvarint;
+// the round trip is exact.
+func appendF64(b []byte, v float64) []byte {
+	return appendUvarint(b, math.Float64bits(v))
+}
+
+func (d *bdec) f64() (float64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(u), nil
+}
+
+func appendQueryReq(b []byte, q *QueryReq) []byte {
+	var bm uint64
+	if q.Kind != "" {
+		bm |= 1 << 0
+	}
+	if len(q.Terms) > 0 {
+		bm |= 1 << 1
+	}
+	if q.InHeadings {
+		bm |= 1 << 2
+	}
+	if q.Rank != "" {
+		bm |= 1 << 3
+	}
+	if q.Limit != 0 {
+		bm |= 1 << 4
+	}
+	if q.Doc != 0 {
+		bm |= 1 << 5
+	}
+	if q.Pos != 0 {
+		bm |= 1 << 6
+	}
+	if q.N != 0 {
+		bm |= 1 << 7
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendSym(b, q.Kind)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendUvarint(b, uint64(len(q.Terms)))
+		for _, t := range q.Terms {
+			b = appendBytes(b, t)
+		}
+	}
+	if bm&(1<<3) != 0 {
+		b = appendSym(b, q.Rank)
+	}
+	if bm&(1<<4) != 0 {
+		b = appendZigzag(b, int64(q.Limit))
+	}
+	if bm&(1<<5) != 0 {
+		b = appendUvarint(b, q.Doc)
+	}
+	if bm&(1<<6) != 0 {
+		b = appendZigzag(b, int64(q.Pos))
+	}
+	if bm&(1<<7) != 0 {
+		b = appendZigzag(b, int64(q.N))
+	}
+	return b
+}
+
+func (d *bdec) queryReq(q *QueryReq) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 8, "QueryReq"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if q.Kind, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		n, err := d.count()
+		if err != nil {
+			return err
+		}
+		q.Terms = make([]string, n)
+		for i := range q.Terms {
+			if q.Terms[i], err = d.str(); err != nil {
+				return err
+			}
+		}
+	}
+	q.InHeadings = bm&(1<<2) != 0
+	if bm&(1<<3) != 0 {
+		if q.Rank, err = d.sym(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<4) != 0 {
+		if q.Limit, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<5) != 0 {
+		if q.Doc, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<6) != 0 {
+		if q.Pos, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<7) != 0 {
+		if q.N, err = d.i(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendSearchHit(b []byte, h *SearchHit) []byte {
+	var bm uint64
+	bm |= 1 << 0 // Doc is the hit's identity; always present
+	if h.Score != 0 {
+		bm |= 1 << 1
+	}
+	if h.Snippet != "" {
+		bm |= 1 << 2
+	}
+	b = appendUvarint(b, bm)
+	b = appendDocInfo(b, &h.Doc)
+	if bm&(1<<1) != 0 {
+		b = appendF64(b, h.Score)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendBytes(b, h.Snippet)
+	}
+	return b
+}
+
+func (d *bdec) searchHit(h *SearchHit) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 3, "SearchHit"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if err := d.docInfo(&h.Doc); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if h.Score, err = d.f64(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if h.Snippet, err = d.str(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendSourceRef(b []byte, r *SourceRef) []byte {
+	var bm uint64
+	if r.SrcDoc != 0 {
+		bm |= 1 << 0
+	}
+	if r.SrcName != "" {
+		bm |= 1 << 1
+	}
+	if r.Chars != 0 {
+		bm |= 1 << 2
+	}
+	if r.From != 0 {
+		bm |= 1 << 3
+	}
+	if r.To != 0 {
+		bm |= 1 << 4
+	}
+	b = appendUvarint(b, bm)
+	if bm&(1<<0) != 0 {
+		b = appendUvarint(b, r.SrcDoc)
+	}
+	if bm&(1<<1) != 0 {
+		b = appendBytes(b, r.SrcName)
+	}
+	if bm&(1<<2) != 0 {
+		b = appendZigzag(b, int64(r.Chars))
+	}
+	if bm&(1<<3) != 0 {
+		b = appendZigzag(b, int64(r.From))
+	}
+	if bm&(1<<4) != 0 {
+		b = appendZigzag(b, int64(r.To))
+	}
+	return b
+}
+
+func (d *bdec) sourceRef(r *SourceRef) error {
+	bm, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if err := checkBits(bm, 5, "SourceRef"); err != nil {
+		return err
+	}
+	if bm&(1<<0) != 0 {
+		if r.SrcDoc, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<1) != 0 {
+		if r.SrcName, err = d.str(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<2) != 0 {
+		if r.Chars, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<3) != 0 {
+		if r.From, err = d.i(); err != nil {
+			return err
+		}
+	}
+	if bm&(1<<4) != 0 {
+		if r.To, err = d.i(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // --- Message -------------------------------------------------------------
 
 // Message presence bits, in encode order. Hot-path fields sit in the low
@@ -997,6 +1242,9 @@ const (
 	mbCode    // machine-readable error code (typed errors)
 	mbRetryMS // throttle backoff hint
 	mbShards  // hello: engine-shard count (gated by CapShardInfo)
+	mbQuery   // 35: query request payload (gated by CapQuery)
+	mbHits    // query response: ranked search hits (gated by CapQuery)
+	mbSources // query response: provenance runs (gated by CapQuery)
 	mbCount   // number of defined bits
 )
 
@@ -1043,6 +1291,9 @@ func appendBinaryMessage(b []byte, m *Message) []byte {
 	set(m.Code != "", mbCode)
 	set(m.RetryMS != 0, mbRetryMS)
 	set(m.Shards != 0, mbShards)
+	set(m.Query != nil, mbQuery)
+	set(len(m.Hits) > 0, mbHits)
+	set(len(m.Sources) > 0, mbSources)
 
 	b = appendUvarint(b, bm)
 	has := func(bit int) bool { return bm&(1<<uint(bit)) != 0 }
@@ -1165,6 +1416,21 @@ func appendBinaryMessage(b []byte, m *Message) []byte {
 	}
 	if has(mbShards) {
 		b = appendZigzag(b, int64(m.Shards))
+	}
+	if has(mbQuery) {
+		b = appendQueryReq(b, m.Query)
+	}
+	if has(mbHits) {
+		b = appendUvarint(b, uint64(len(m.Hits)))
+		for i := range m.Hits {
+			b = appendSearchHit(b, &m.Hits[i])
+		}
+	}
+	if has(mbSources) {
+		b = appendUvarint(b, uint64(len(m.Sources)))
+		for i := range m.Sources {
+			b = appendSourceRef(b, &m.Sources[i])
+		}
 	}
 	return b
 }
@@ -1397,6 +1663,36 @@ func decodeBinaryMessage(payload []byte) (*Message, error) {
 	if has(mbShards) {
 		if m.Shards, err = d.i(); err != nil {
 			return nil, err
+		}
+	}
+	if has(mbQuery) {
+		m.Query = &QueryReq{}
+		if err := d.queryReq(m.Query); err != nil {
+			return nil, err
+		}
+	}
+	if has(mbHits) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Hits = make([]SearchHit, n)
+		for i := range m.Hits {
+			if err := d.searchHit(&m.Hits[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if has(mbSources) {
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		m.Sources = make([]SourceRef, n)
+		for i := range m.Sources {
+			if err := d.sourceRef(&m.Sources[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if d.rem() != 0 {

@@ -37,6 +37,13 @@ var seedFrames = []string{
 	`{"type":"req","id":10,"op":"resync","doc":7,"since":41}`,
 	`{"type":"resp","id":10,"ok":true,"events":[{"seq":42,"doc":7,"kind":"batch","user":"u","batch":[{"kind":"insert","pos":0,"text":"a","ids":[50]},{"kind":"delete","pos":2,"n":1,"ids":[51]}],"atNs":9}]}`,
 	`{"type":"resp","id":11,"ok":true,"full":true,"text":"whole doc","seq":50,"snap":7}`,
+	// Query frames (CapQuery): search and provenance requests plus their
+	// hit-list and source-run responses, including a float score.
+	`{"type":"req","id":12,"op":"query","query":{"kind":"search","terms":["database","editor"],"inHeadings":true,"rank":"most-cited","limit":10}}`,
+	`{"type":"req","id":13,"op":"query","query":{"kind":"sources","doc":7,"pos":4,"n":16}}`,
+	`{"type":"resp","id":12,"ok":true,"hits":[{"doc":{"id":3,"name":"notes","creator":"alice","size":42,"state":"draft","authors":["alice","bob"],"modifiedNs":77},"score":1.25,"snippet":"some té██t…"},{"doc":{"id":9,"name":"q","creator":"bob"}}]}`,
+	`{"type":"resp","id":13,"ok":true,"sources":[{"srcDoc":3,"srcName":"notes","chars":4,"from":0,"to":4},{"chars":2,"from":4,"to":6}]}`,
+	`{"type":"resp","id":14,"err":"server: query requires the CapQuery hello capability","code":"unsupported"}`,
 }
 
 // FuzzCodecRoundTrip feeds arbitrary bytes through the codec: every frame

@@ -71,6 +71,7 @@ const (
 	OpCursor      = "cursor"
 	OpPresence    = "presence"
 	OpHistory     = "history"
+	OpQuery       = "query" // CapQuery: incremental search & provenance
 )
 
 // Undo/redo scopes.
@@ -99,6 +100,12 @@ const EvPresence = "presence"
 // backoff, in milliseconds, after which retrying can succeed.
 const ErrThrottled = "throttled"
 
+// ErrUnsupported is the machine-readable Code of a response to a request
+// the connection cannot serve: an op behind a capability the peer did not
+// advertise (e.g. OpQuery without CapQuery on a binary connection), or a
+// subsystem the server runs without (indexers disabled).
+const ErrUnsupported = "unsupported"
+
 // Hello capability bits (Message.Caps). The binary codec's presence
 // bitmap makes any bit a peer does not know a hard decode error, so a
 // field added after a binary release must never be sent to a binary peer
@@ -117,6 +124,11 @@ const (
 	// shard count (JSON peers always get it — their decoders skip
 	// unknown fields).
 	CapShardInfo uint64 = 1 << 1
+	// CapQuery: the sender speaks the OpQuery request/response pair
+	// (Query, Hits, Sources fields). A binary peer that sends OpQuery
+	// without having advertised this gets a typed ErrUnsupported — the
+	// response fields would be undecodable presence bits to it.
+	CapQuery uint64 = 1 << 2
 )
 
 // Edit-op kinds carried inside an OpEdit batch.
@@ -228,6 +240,48 @@ type Event struct {
 	AtNS  int64       `json:"atNs"`
 }
 
+// QueryReq is the payload of an OpQuery request (CapQuery). Kind selects
+// the query family: QuerySearch runs the ranked search (Terms, InHeadings,
+// Rank, Limit), QuerySources explains where the visible range [Pos, Pos+N)
+// of Doc came from.
+type QueryReq struct {
+	Kind       string   `json:"kind"`
+	Terms      []string `json:"terms,omitempty"`
+	InHeadings bool     `json:"inHeadings,omitempty"`
+	Rank       string   `json:"rank,omitempty"`
+	Limit      int      `json:"limit,omitempty"`
+	Doc        uint64   `json:"doc,omitempty"`
+	Pos        int      `json:"pos,omitempty"`
+	N          int      `json:"n,omitempty"`
+}
+
+// QueryReq kinds.
+const (
+	QuerySearch  = "search"
+	QuerySources = "sources"
+)
+
+// SearchHit is one ranked search result on the wire. The snippet is
+// re-derived per requesting user through their character-level read mask
+// before it leaves the server (fail-closed), so two tenants may see the
+// same hit with different snippets.
+type SearchHit struct {
+	Doc     DocInfo `json:"doc"`
+	Score   float64 `json:"score,omitempty"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+// SourceRef is one provenance run on the wire: the characters [From, To)
+// of the queried document were pasted from SrcDoc. A zero SrcDoc marks
+// locally typed text.
+type SourceRef struct {
+	SrcDoc  uint64 `json:"srcDoc,omitempty"`
+	SrcName string `json:"srcName,omitempty"`
+	Chars   int    `json:"chars"`
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+}
+
 // HistoryOp is one editing-history entry on the wire.
 type HistoryOp struct {
 	ID     uint64 `json:"id"`
@@ -260,6 +314,9 @@ type Message struct {
 	Caps     uint64   `json:"caps,omitempty"`  // hello: capability bits (JSON frames only)
 	Ops      []EditOp `json:"ops,omitempty"`   // edit: the batch
 	Since    uint64   `json:"since,omitempty"` // resync: last applied sequence number
+	// Query is the OpQuery request payload. Gated by CapQuery on binary
+	// frames (JSON decoders skip unknown fields).
+	Query *QueryReq `json:"query,omitempty"`
 
 	// Response fields.
 	OK  bool   `json:"ok,omitempty"`
@@ -297,6 +354,11 @@ type Message struct {
 	// multi-node phase will use it to pre-place connections. Gated by
 	// CapShardInfo on binary frames.
 	Shards int `json:"shards,omitempty"`
+	// Hits / Sources answer an OpQuery (QuerySearch / QuerySources).
+	// Both are ACL-filtered per requesting user before encoding and
+	// gated by CapQuery on binary frames.
+	Hits    []SearchHit `json:"hits,omitempty"`
+	Sources []SourceRef `json:"sources,omitempty"`
 
 	// Push payload.
 	Event *Event `json:"event,omitempty"`

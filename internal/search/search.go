@@ -45,10 +45,13 @@ type Result struct {
 }
 
 // Index is the searchable view over an engine: an inverted index over
-// content plus heading text, refreshed on demand.
+// content plus heading text. It carries no locking of its own — the
+// incremental index.Service serialises access, and the legacy BuildIndex
+// path is single-threaded.
 type Index struct {
 	eng      *core.Engine
 	postings map[string]map[util.ID]int // term -> doc -> tf
+	terms    map[util.ID]map[string]int // doc -> tf (reverse view, for diffing)
 	headings map[util.ID]string         // doc -> concatenated heading text
 	lengths  map[util.ID]int
 	snippets map[util.ID]string
@@ -57,11 +60,13 @@ type Index struct {
 	reads    map[util.ID]int
 }
 
-// BuildIndex constructs the index over the current document set.
-func BuildIndex(eng *core.Engine) (*Index, error) {
-	ix := &Index{
+// New returns an empty index ready for incremental maintenance via
+// UpdateDoc/SetCites/SetReads (the index.Service path).
+func New(eng *core.Engine) *Index {
+	return &Index{
 		eng:      eng,
 		postings: make(map[string]map[util.ID]int),
+		terms:    make(map[util.ID]map[string]int),
 		headings: make(map[util.ID]string),
 		lengths:  make(map[util.ID]int),
 		snippets: make(map[util.ID]string),
@@ -69,6 +74,16 @@ func BuildIndex(eng *core.Engine) (*Index, error) {
 		cites:    make(map[util.ID]int),
 		reads:    make(map[util.ID]int),
 	}
+}
+
+// BuildIndex constructs the index by rescanning the current document set.
+//
+// Deprecated: the rescan touches every document on every build; open an
+// incremental index.Service instead, which folds the awareness op stream
+// into the same structures in O(ops). BuildIndex remains as the reference
+// oracle the equivalence tests rebuild from scratch.
+func BuildIndex(eng *core.Engine) (*Index, error) {
+	ix := New(eng)
 	infos, err := eng.ListDocuments()
 	if err != nil {
 		return nil, err
@@ -97,49 +112,103 @@ func (ix *Index) indexDoc(info core.DocInfo) error {
 		return err
 	}
 	text := d.Text()
-	toks := mining.Tokenize(text)
-	for _, t := range toks {
-		m := ix.postings[t]
-		if m == nil {
-			m = make(map[util.ID]int)
-			ix.postings[t] = m
-		}
-		m[info.ID]++
-	}
-	ix.lengths[info.ID] = len(toks)
-	ix.snippets[info.ID] = firstN(text, 80)
-	ix.docs[info.ID] = d.Info()
-
-	// Heading text for structure search.
 	spans, err := d.Spans()
 	if err != nil {
 		return err
 	}
+	ix.UpdateDoc(d.Info(), text, HeadingText(text, spans, d.SpanRange))
+	return nil
+}
+
+// HeadingText concatenates (lowercased) the text of every heading span,
+// resolved through rangeOf — a Document.SpanRange or DocSnapshot.SpanRange
+// bound method, so the rescan and snapshot paths compute byte-identical
+// heading strings.
+func HeadingText(text string, spans []core.Span, rangeOf func(core.Span) (int, int)) string {
 	var hb strings.Builder
+	runes := []rune(text)
 	for _, s := range spans {
 		if s.Kind != core.SpanHeading {
 			continue
 		}
-		from, to := d.SpanRange(s)
-		runes := []rune(text)
+		from, to := rangeOf(s)
 		if from < len(runes) && to <= len(runes) && from < to {
 			hb.WriteString(string(runes[from:to]))
 			hb.WriteString(" ")
 		}
 	}
-	ix.headings[info.ID] = strings.ToLower(hb.String())
+	return strings.ToLower(hb.String())
+}
+
+// UpdateDoc replaces one document's contribution to the index with the
+// given state. The update diffs the new term frequencies against the old
+// ones, so its cost is O(terms in the document) regardless of corpus size
+// — the property the incremental indexer's per-keystroke bound rests on.
+func (ix *Index) UpdateDoc(info core.DocInfo, text, headings string) {
+	id := info.ID
+	toks := mining.Tokenize(text)
+	fresh := make(map[string]int, len(toks))
+	for _, t := range toks {
+		fresh[t]++
+	}
+	old := ix.terms[id]
+	for t, n := range old {
+		if fresh[t] == n {
+			continue
+		}
+		m := ix.postings[t]
+		if _, ok := fresh[t]; !ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, t)
+			}
+		}
+	}
+	for t, n := range fresh {
+		if old[t] == n {
+			continue
+		}
+		m := ix.postings[t]
+		if m == nil {
+			m = make(map[util.ID]int)
+			ix.postings[t] = m
+		}
+		m[id] = n
+	}
+	ix.terms[id] = fresh
+	ix.lengths[id] = len(toks)
+	ix.snippets[id] = firstN(text, 80)
+	ix.docs[id] = info
+	ix.headings[id] = headings
+}
+
+// SetCites overrides the citation count used by ByMostCited ranking
+// (maintained edge-by-edge by the incremental indexer).
+func (ix *Index) SetCites(doc util.ID, n int) { ix.cites[doc] = n }
+
+// SetReads overrides the read count used by ByMostRead ranking.
+func (ix *Index) SetReads(doc util.ID, n int) { ix.reads[doc] = n }
+
+// RefreshReads recomputes read counts for every indexed document from the
+// reads table. Reads are recorded without publishing a bus event, so the
+// incremental indexer calls this lazily when a ByMostRead query arrives.
+func (ix *Index) RefreshReads() error {
+	for id := range ix.docs {
+		evs, err := ix.eng.ReadEventsOf(id)
+		if err != nil {
+			return err
+		}
+		ix.reads[id] = len(evs)
+	}
 	return nil
 }
 
 // Refresh re-indexes one document after it changed.
+//
+// Deprecated: index.Service folds document changes in automatically from
+// the awareness op stream; manual refresh remains only for the legacy
+// BuildIndex path.
 func (ix *Index) Refresh(doc util.ID) error {
-	// Drop stale postings for the doc.
-	for t, m := range ix.postings {
-		delete(m, doc)
-		if len(m) == 0 {
-			delete(ix.postings, t)
-		}
-	}
 	info, err := ix.eng.DocInfoByID(doc)
 	if err != nil {
 		return err

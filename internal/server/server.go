@@ -84,6 +84,19 @@ func NewCluster(cl *placement.Cluster, sec *security.Store) *Server {
 	cl.Each(func(sh *placement.Shard) {
 		sh.Engine.Bus().SetCounters(&s.metrics.Sheds, &s.metrics.QueueDepth)
 	})
+	// Indexer progress for /metrics, resolved per scrape so it works
+	// whether StartIndexers ran before or after the server came up.
+	s.metrics.SetIndexStats(func() (metrics.IndexStats, bool) {
+		ic := cl.Index()
+		if ic == nil {
+			return metrics.IndexStats{}, false
+		}
+		st := ic.Stats()
+		return metrics.IndexStats{
+			Docs: st.Docs, AppliedOps: st.Applied,
+			Heals: st.Heals, LagDocs: st.Lag,
+		}, true
+	})
 	return s
 }
 
@@ -598,6 +611,8 @@ func (c *conn) handle(req *protocol.Message) *protocol.Message {
 			out[i] = protocol.Presence{User: p.User, Cursor: p.Cursor}
 		}
 		return &protocol.Message{OK: true, Present: out}
+	case protocol.OpQuery:
+		return c.query(req)
 	default:
 		return fail(fmt.Errorf("server: unknown op %q", req.Op))
 	}

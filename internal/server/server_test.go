@@ -27,6 +27,13 @@ func harness(t *testing.T, sec bool) (addr string, eng *core.Engine) {
 // harnessStore is harness exposing the security store, for tests that
 // install ACL rules directly (nil when sec is false).
 func harnessStore(t *testing.T, sec bool) (addr string, eng *core.Engine, store *security.Store) {
+	addr, eng, store, _ = harnessSrv(t, sec)
+	return addr, eng, store
+}
+
+// harnessSrv additionally exposes the server, for tests that manage its
+// cluster directly (starting indexers, reading metrics).
+func harnessSrv(t *testing.T, sec bool) (addr string, eng *core.Engine, store *security.Store, srv *Server) {
 	t.Helper()
 	database, err := db.Open(db.Options{})
 	if err != nil {
@@ -45,7 +52,7 @@ func harnessStore(t *testing.T, sec bool) (addr string, eng *core.Engine, store 
 		store.CreateUser("alice", "pw-a")
 		store.CreateUser("bob", "pw-b")
 	}
-	srv := New(eng, store)
+	srv = New(eng, store)
 	srv.SetLogf(func(string, ...interface{}) {})
 	a, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -56,7 +63,7 @@ func harnessStore(t *testing.T, sec bool) (addr string, eng *core.Engine, store 
 		srv.Close()
 		database.Close()
 	})
-	return a.String(), eng, store
+	return a.String(), eng, store, srv
 }
 
 func login(t *testing.T, addr, user, pw string) *client.Client {
