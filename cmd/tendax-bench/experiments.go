@@ -1731,7 +1731,7 @@ func runE16(quick bool, _ string) error {
 		bytes     float64 // both directions, typing loop only
 	}
 	runSession := func(user, docName string, maxVer int) (typed, error) {
-		c, err := client.Dial(addr.String())
+		c, err := client.Dial(addr.String(), client.WithMaxVersion(maxVer))
 		if err != nil {
 			return typed{}, err
 		}
@@ -1739,11 +1739,7 @@ func runE16(quick bool, _ string) error {
 		if err := c.Login(user, ""); err != nil {
 			return typed{}, err
 		}
-		ver, err := c.HelloVer(maxVer)
-		if err != nil {
-			return typed{}, err
-		}
-		if ver != maxVer {
+		if ver := c.Ver(); ver != maxVer {
 			return typed{}, fmt.Errorf("%s negotiated v%d, want v%d", user, ver, maxVer)
 		}
 		id, err := c.CreateDocument(docName)
@@ -2314,9 +2310,11 @@ func runE19(quick bool, _ string) error {
 
 		// The rescan this subsystem retires: full BuildIndex + lineage walk.
 		t0 = time.Now()
+		//tendax:allow-deprecated E19 measures the retired rescan path against the incremental indexes on purpose
 		if _, err := search.BuildIndex(eng); err != nil {
 			return err
 		}
+		//tendax:allow-deprecated E19 measures the retired rescan path against the incremental indexes on purpose
 		if _, err := lineage.Build(eng); err != nil {
 			return err
 		}

@@ -1,0 +1,65 @@
+// Package deprfence fences off deprecated API. Any use of an object
+// whose doc comment carries a standard "Deprecated:" paragraph —
+// function, method, type, constant or variable, from any package in this
+// module — is a finding. Test files are outside the fence (the loader
+// analyzes only non-test sources; shims stay exercised by their
+// regression tests until deleted), and a deprecated function may freely
+// call other deprecated API: the shim that forwards to another shim is
+// scheduled for the same deletion.
+//
+// The escape hatch is `//tendax:allow-deprecated <reason>` on (or above)
+// the use — deliberate pins, like an experiment that measures the old
+// full-rescan path against the incremental one, stay visible and
+// reviewed.
+package deprfence
+
+import (
+	"go/ast"
+	"strings"
+
+	"tendax/internal/analysis/framework"
+)
+
+// Analyzer is the deprecated-API fence.
+var Analyzer = &framework.Analyzer{
+	Name:     "deprfence",
+	AllowKey: "deprecated",
+	Doc:      "flags uses of Deprecated: APIs outside tests (annotate //tendax:allow-deprecated to pin)",
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			// A deprecated declaration may use deprecated API: the whole
+			// cluster retires together.
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					if _, dep := pass.Deprecated(obj); dep {
+						continue
+					}
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					return true
+				}
+				note, dep := pass.Deprecated(obj)
+				if !dep {
+					return true
+				}
+				note = strings.TrimSpace(strings.TrimPrefix(note, "Deprecated:"))
+				pass.Reportf(id.Pos(),
+					"use of deprecated %s: %s (or pin with //tendax:allow-deprecated <reason>)",
+					framework.ShortName(obj), note)
+				return true
+			})
+		}
+	}
+	return nil
+}

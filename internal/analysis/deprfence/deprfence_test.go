@@ -1,0 +1,12 @@
+package deprfence_test
+
+import (
+	"testing"
+
+	"tendax/internal/analysis/analysistest"
+	"tendax/internal/analysis/deprfence"
+)
+
+func TestDeprfence(t *testing.T) {
+	analysistest.Run(t, deprfence.Analyzer, "e")
+}

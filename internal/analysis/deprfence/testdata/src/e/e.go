@@ -1,0 +1,30 @@
+// Package e recreates the deprecated-shim call class for the deprfence
+// analyzer.
+package e
+
+import "shim"
+
+// fresh uses the current API.
+func fresh() int { return shim.Build() }
+
+// stale calls the deprecated shim.
+func stale() int {
+	return shim.BuildIndex() // want `use of deprecated shim\.BuildIndex`
+}
+
+// limit references a deprecated constant.
+func limit() int {
+	return shim.MaxTokens // want `use of deprecated shim\.MaxTokens`
+}
+
+// pinned keeps the old path on purpose, with the reviewed escape hatch.
+func pinned() int {
+	//tendax:allow-deprecated rescan-contrast baseline for the E19 experiment
+	return shim.BuildIndex()
+}
+
+// pinnedBad has the hatch but no reason: still a finding.
+func pinnedBad() int {
+	//tendax:allow-deprecated
+	return shim.BuildIndex() // want `tendax:allow-deprecated needs a reason`
+}

@@ -1,0 +1,25 @@
+// Package shim is a fixture stub: a migrated API whose old entry points
+// carry standard Deprecated: notes.
+package shim
+
+// Build builds the index incrementally: the current API.
+func Build() int { return 1 }
+
+// BuildIndex rebuilds the index with a full rescan.
+//
+// Deprecated: use Build, which consumes the op stream incrementally.
+func BuildIndex() int { return Build() }
+
+// Refresh re-walks everything through the old path. A deprecated shim
+// may call other deprecated API: the cluster retires together.
+//
+// Deprecated: use Build.
+func Refresh() int { return BuildIndex() }
+
+// MaxTokens is the legacy token ceiling.
+//
+// Deprecated: use Limits.
+const MaxTokens = 64
+
+// Limits is the current limit surface.
+type Limits struct{ Tokens int }

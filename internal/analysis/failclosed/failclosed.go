@@ -1,0 +1,210 @@
+// Package failclosed enforces the fail-closed access-control discipline
+// from PR 7: the verdict of a security check must actually gate what
+// happens next. The analyzer knows the verdict-producing calls —
+// security.(*Store).Check / ReadVisibility / ReadableMask and the
+// engine's AccessChecker interface — and flags call sites where a denial
+// cannot have any effect:
+//
+//   - the verdict is discarded outright (call in statement position, or
+//     assigned to the blank identifier);
+//   - the deny branch is empty (`if err := check(); err != nil {}`).
+//
+// Wrappers propagate: a function that returns a verdict (like the
+// server's checkRead, which wraps Store.Check behind the doc-level
+// read-denial rule) is itself treated as a verdict producer at its call
+// sites, transitively across packages.
+//
+// The analyzer deliberately does not demand that a deny branch return or
+// panic: legitimate sites mask or anonymize on denial instead of
+// aborting (provenance queries hide the source document, they don't
+// fail). It only rejects shapes where the denial is provably ignored.
+//
+// Suppress with `//tendax:allow-failclosed <reason>`.
+package failclosed
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tendax/internal/analysis/framework"
+)
+
+// Analyzer is the failclosed invariant checker.
+var Analyzer = &framework.Analyzer{
+	Name: "failclosed",
+	Doc:  "flags security-check verdicts that are discarded or met with an empty deny branch",
+	Run:  run,
+}
+
+// roots are the primitive verdict producers.
+var roots = []struct{ pkg, typ, method string }{
+	{"security", "Store", "Check"},
+	{"security", "Store", "ReadVisibility"},
+	{"security", "Store", "ReadableMask"},
+	{"core", "AccessChecker", "Check"},
+	{"core", "AccessChecker", "ReadableMask"},
+}
+
+// verdictFact marks a function whose return value carries a security
+// verdict.
+type verdictFact struct{}
+
+func isVerdictFn(pass *framework.Pass, fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	for _, r := range roots {
+		if framework.IsMethod(fn, r.pkg, r.typ, r.method) {
+			return true
+		}
+	}
+	_, ok := pass.ImportObjectFact(fn)
+	return ok
+}
+
+// verdictCall returns the verdict-producing callee of expr when expr is
+// (or directly contains) such a call.
+func verdictCall(pass *framework.Pass, expr ast.Expr) *types.Func {
+	var found *types.Func
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := framework.Callee(pass.TypesInfo, call); isVerdictFn(pass, fn) {
+				found = fn
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func run(pass *framework.Pass) error {
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+
+	// Phase A: propagate verdict-ness to wrappers that return a verdict
+	// through an error result, to a fixpoint so same-package chains
+	// resolve regardless of declaration order.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if _, done := pass.ImportObjectFact(fn); done {
+				continue
+			}
+			if !returnsError(fn) {
+				continue
+			}
+			wraps := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if wraps {
+					return false
+				}
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					for _, res := range ret.Results {
+						if verdictCall(pass, res) != nil {
+							wraps = true
+						}
+					}
+				}
+				return true
+			})
+			if wraps {
+				pass.ExportObjectFact(fn, verdictFact{})
+				changed = true
+			}
+		}
+	}
+
+	// Phase B: flag ignored verdicts.
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn := framework.Callee(pass.TypesInfo, call); isVerdictFn(pass, fn) {
+						pass.Reportf(call.Pos(),
+							"security verdict from %s is discarded: a denial here has no effect (fail-closed rule, PR 7)",
+							framework.ShortName(fn))
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					fn := framework.Callee(pass.TypesInfo, call)
+					if !isVerdictFn(pass, fn) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(call.Pos(),
+							"security verdict from %s is discarded: a denial here has no effect (fail-closed rule, PR 7)",
+							framework.ShortName(fn))
+					}
+				}
+			case *ast.IfStmt:
+				if len(n.Body.List) != 0 {
+					return true
+				}
+				if fn := denyCond(pass, n); fn != nil {
+					pass.Reportf(n.Pos(),
+						"empty deny branch: a non-nil verdict from %s falls through unhandled (fail-closed rule, PR 7)",
+						framework.ShortName(fn))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// denyCond reports the verdict producer behind an `err != nil` condition,
+// looking at the condition itself and at an `err := check()` init.
+func denyCond(pass *framework.Pass, ifs *ast.IfStmt) *types.Func {
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "!=" {
+		return nil
+	}
+	if fn := verdictCall(pass, ifs.Cond); fn != nil {
+		return fn
+	}
+	if init, ok := ifs.Init.(*ast.AssignStmt); ok {
+		for _, rhs := range init.Rhs {
+			if fn := verdictCall(pass, rhs); fn != nil {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether fn's signature includes an error result.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

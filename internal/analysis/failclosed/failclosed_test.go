@@ -1,0 +1,12 @@
+package failclosed_test
+
+import (
+	"testing"
+
+	"tendax/internal/analysis/analysistest"
+	"tendax/internal/analysis/failclosed"
+)
+
+func TestFailclosed(t *testing.T) {
+	analysistest.Run(t, failclosed.Analyzer, "d")
+}

@@ -1,0 +1,65 @@
+// Package d recreates the PR 7 doc-level read-denial bypass for the
+// failclosed analyzer: security verdicts that cannot gate anything.
+package d
+
+import "security"
+
+type server struct {
+	sec *security.Store
+}
+
+// get handles the verdict: the correct shape.
+func (s *server) get(user, doc string) error {
+	if err := s.sec.Check(user, doc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkRead wraps the store check; its callers inherit the obligation.
+func (s *server) checkRead(user, doc string) error {
+	return s.sec.Check(user, doc)
+}
+
+// anonymize masks on denial instead of aborting: also correct — the
+// analyzer does not demand a terminating deny branch.
+func (s *server) anonymize(user, doc string) string {
+	if s.checkRead(user, doc) != nil {
+		return "<hidden>"
+	}
+	return doc
+}
+
+// fireAndForget is the historical bypass: the check runs, the denial
+// goes nowhere, the read proceeds.
+func (s *server) fireAndForget(user, doc string) {
+	s.sec.Check(user, doc) // want `security verdict from .*Check is discarded`
+}
+
+// blankWrapper discards a wrapper's verdict: caught transitively.
+func (s *server) blankWrapper(user, doc string) {
+	_ = s.checkRead(user, doc) // want `security verdict from .*checkRead is discarded`
+}
+
+// emptyDeny notices the denial and does nothing with it.
+func (s *server) emptyDeny(user, doc string) {
+	if err := s.sec.Check(user, doc); err != nil { // want `empty deny branch`
+	}
+}
+
+// visDiscarded drops the visibility fingerprint on the floor.
+func (s *server) visDiscarded(user, doc string) {
+	s.sec.ReadVisibility(user, doc) // want `security verdict from .*ReadVisibility is discarded`
+}
+
+// masked consults the mask: fine.
+func (s *server) masked(user, doc string) []bool {
+	return s.sec.ReadableMask(user, doc, 3)
+}
+
+// warmup pre-computes the ACL cache on purpose; the allow directive
+// records why the discarded verdict is intended.
+func (s *server) warmup(user, doc string) {
+	//tendax:allow-failclosed cache warm-up; verdict re-checked per request
+	s.sec.Check(user, doc)
+}

@@ -1,0 +1,20 @@
+// Package security is a fixture stub of the access-control store: the
+// three verdict-producing calls the failclosed analyzer roots on.
+package security
+
+import "errors"
+
+// ErrDenied is the stub denial.
+var ErrDenied = errors.New("denied")
+
+// Store is the fixture ACL store.
+type Store struct{}
+
+// Check returns nil if user holds the right on doc.
+func (s *Store) Check(user, doc string) error { return ErrDenied }
+
+// ReadVisibility returns the user's visibility fingerprint for doc.
+func (s *Store) ReadVisibility(user, doc string) uint64 { return 1 }
+
+// ReadableMask reports, per character, whether user may read it.
+func (s *Store) ReadableMask(user, doc string, n int) []bool { return nil }

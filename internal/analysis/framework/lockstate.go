@@ -1,0 +1,250 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HeldLocks is the set of mutexes held at a program point, keyed by the
+// source spelling of the lock expression ("d.mu"), with the position of
+// the Lock call that acquired it.
+type HeldLocks map[string]token.Pos
+
+// Copy returns an independent copy of the held set.
+func (h HeldLocks) Copy() HeldLocks {
+	c := make(HeldLocks, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h HeldLocks) union(o HeldLocks) HeldLocks {
+	for k, v := range o {
+		if _, ok := h[k]; !ok {
+			h[k] = v
+		}
+	}
+	return h
+}
+
+// WalkLockRegions traverses a function body in execution order, tracking
+// which sync.Mutex/sync.RWMutex values locked in this function are still
+// held, and invokes onNode for every node visited with the current held
+// set. Branches are walked with copies of the entry state and joined with
+// set union — "possibly held" is treated as held, which errs on the side
+// of reporting for the invariants built on top of this walker.
+//
+// Scope rules: `defer mu.Unlock()` (directly or in a deferred closure)
+// keeps mu held for the remainder of the body; a `go` statement's closure
+// starts with no locks held; any other function literal is walked with a
+// copy of the current state, since closures in this codebase run at their
+// creation site (transaction bodies, bus callbacks) far more often than
+// asynchronously.
+func WalkLockRegions(info *types.Info, body *ast.BlockStmt, onNode func(n ast.Node, held HeldLocks)) {
+	w := &lockWalker{info: info, onNode: onNode}
+	w.stmts(body.List, make(HeldLocks))
+}
+
+type lockWalker struct {
+	info   *types.Info
+	onNode func(n ast.Node, held HeldLocks)
+}
+
+// lockOp classifies a call as a mutex acquire or release and returns the
+// spelling of the mutex expression.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, selOK := unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false, false
+	}
+	fn, _ := w.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", false, false
+	}
+	isMutexMethod := IsMethod(fn, "sync", "Mutex", fn.Name()) || IsMethod(fn, "sync", "RWMutex", fn.Name())
+	if !isMutexMethod {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held HeldLocks) HeldLocks {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held HeldLocks) HeldLocks {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			if key, acquire, ok := w.lockOp(call); ok {
+				if acquire {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return held
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): held until return — no state change, and the
+		// deferred call itself is not a visit point. A deferred closure
+		// releasing a mutex gets the same treatment.
+		if key, acquire, ok := w.lockOp(s.Call); ok && !acquire {
+			_ = key
+			return held
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			releases := false
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, acquire, ok := w.lockOp(call); ok && !acquire {
+						releases = true
+					}
+				}
+				return true
+			})
+			if releases {
+				return held
+			}
+		}
+		// Other deferred work runs at return with an unknowable lock
+		// state; visit only its arguments.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, make(HeldLocks))
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		after := w.stmts(s.Body.List, held.Copy())
+		if s.Else != nil {
+			after = after.union(w.stmt(s.Else, held.Copy()))
+		} else {
+			after = after.union(held)
+		}
+		return after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := w.stmts(s.Body.List, held.Copy())
+		if s.Post != nil {
+			body = w.stmt(s.Post, body)
+		}
+		return held.union(body)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		return held.union(w.stmts(s.Body.List, held.Copy()))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		out := held.Copy()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, held)
+			}
+			out = out.union(w.stmts(cc.Body, held.Copy()))
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		out := held.Copy()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			out = out.union(w.stmts(cc.Body, held.Copy()))
+		}
+		return out
+	case *ast.SelectStmt:
+		out := held.Copy()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := held.Copy()
+			if cc.Comm != nil {
+				branch = w.stmt(cc.Comm, branch)
+			}
+			out = out.union(w.stmts(cc.Body, branch))
+		}
+		return out
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held.Copy()).union(held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	}
+	return held
+}
+
+// expr visits an expression subtree, reporting every node with the
+// current held set. Function literals are walked as lock regions of their
+// own, seeded with a copy of the current state (see WalkLockRegions).
+func (w *lockWalker) expr(e ast.Expr, held HeldLocks) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, held.Copy())
+			return false
+		}
+		if n != nil {
+			w.onNode(n, held)
+		}
+		return true
+	})
+}

@@ -1,0 +1,198 @@
+// Package locksync enforces the group-commit design rule from PR 1: no
+// call that can block on an fsync — wal.(*Log).WaitFlushed and everything
+// that reaches it (txn.(*Txn).WaitDurable / Commit, the engine's
+// durability waits, transaction wrappers that commit) plus os.(*File).Sync
+// — may be made while a sync.Mutex or sync.RWMutex locked in the
+// enclosing function is still held. Durability waits belong AFTER the
+// lock hand-off: that is the entire point of the asynchronous commit
+// pipeline (CommitAsync releases locks, WaitDurable is taken outside
+// d.mu), and holding a hot lock across a disk flush serializes every
+// other writer behind the disk instead of behind the in-memory apply.
+//
+// Blocking-ness is propagated transitively over the static call graph
+// (calls through interfaces with a named concrete-typed receiver
+// included, calls through function values not), so a wrapper like
+// engine.withTxn — whose body commits — flags its callers just like a
+// direct WaitFlushed would. The wal package itself is exempt: it
+// implements the durability barrier and legitimately holds its own mutex
+// around the flush state machinery.
+//
+// Suppress a finding with `//tendax:allow-locksync <reason>` on (or
+// directly above) the flagged call. A function whose doc comment carries
+// `//tendax:locksync-nonblocking` is fenced out of propagation entirely:
+// it asserts that its blocking is sanctioned for lock-holding callers
+// (the canonical case is the transaction rollback path, whose abort-record
+// flush is the deliberate, rare exception to the group-commit rule).
+package locksync
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tendax/internal/analysis/framework"
+)
+
+// Analyzer is the locksync invariant checker.
+var Analyzer = &framework.Analyzer{
+	Name: "locksync",
+	Doc:  "flags durability waits (fsync-blocking calls) made while a locally-locked mutex is held",
+	Run:  run,
+}
+
+// roots are the primitive blocking operations; everything else is
+// reached from them through fact propagation.
+var roots = []struct{ pkg, typ, method string }{
+	{"os", "File", "Sync"},
+	{"wal", "Log", "WaitFlushed"},
+	{"wal", "Log", "Flush"},
+	{"wal", "Store", "Sync"},
+}
+
+// blockerFact marks a function that can block on fsync; chain names the
+// call path from the function (exclusive) down to a root (inclusive).
+type blockerFact struct {
+	chain []string
+}
+
+func isRoot(fn *types.Func) bool {
+	for _, r := range roots {
+		if framework.IsMethod(fn, r.pkg, r.typ, r.method) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockChain returns the call path from fn to a blocking root, or nil if
+// fn cannot block on fsync (as far as the static call graph shows).
+func blockChain(pass *framework.Pass, fn *types.Func) []string {
+	if fn == nil {
+		return nil
+	}
+	if isRoot(fn) {
+		return []string{framework.ShortName(fn)}
+	}
+	if f, ok := pass.ImportObjectFact(fn); ok {
+		fact := f.(blockerFact)
+		return append([]string{framework.ShortName(fn)}, fact.chain...)
+	}
+	return nil
+}
+
+func run(pass *framework.Pass) error {
+	// Phase A: mark this package's fsync-blocking functions, to a
+	// fixpoint so declaration order and same-package call chains don't
+	// matter. Function literals are excluded on purpose: a closure's
+	// blocking belongs to the function that eventually calls it (the
+	// transaction wrapper), not to the one that builds it.
+	type fndecl struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []fndecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			// A fenced function never becomes a blocker: its doc asserts
+			// the blocking is sanctioned under callers' locks.
+			if framework.FuncDirective(fd, "tendax:locksync-nonblocking") {
+				continue
+			}
+			decls = append(decls, fndecl{fn, fd})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, ok := pass.ImportObjectFact(d.fn); ok {
+				continue
+			}
+			var chain []string
+			inspectSkippingFuncLits(d.decl.Body, func(n ast.Node) {
+				if chain != nil {
+					return
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if c := blockChain(pass, framework.Callee(pass.TypesInfo, call)); c != nil {
+					chain = c
+				}
+			})
+			if chain != nil {
+				if len(chain) > 3 {
+					chain = append(chain[:3:3], "…")
+				}
+				pass.ExportObjectFact(d.fn, blockerFact{chain})
+				changed = true
+			}
+		}
+	}
+
+	// Phase B: report blocking calls under locally-held locks. The wal
+	// package owns the barrier and is exempt.
+	if framework.PkgPathMatches(pass.Types.Path(), "wal") {
+		return nil
+	}
+	for _, d := range decls {
+		framework.WalkLockRegions(pass.TypesInfo, d.decl.Body, func(n ast.Node, held framework.HeldLocks) {
+			if len(held) == 0 {
+				return
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := framework.Callee(pass.TypesInfo, call)
+			chain := blockChain(pass, fn)
+			if chain == nil {
+				return
+			}
+			mu, lockPos := pickLock(held)
+			via := ""
+			if len(chain) > 1 {
+				via = fmt.Sprintf(" (via %s)", strings.Join(chain[1:], " → "))
+			}
+			pass.Reportf(call.Pos(),
+				"%s can block on fsync%s while %s is held (locked at line %d): release the lock before the durability wait (group-commit rule, PR 1)",
+				framework.ShortName(fn), via, mu, pass.Fset.Position(lockPos).Line)
+		})
+	}
+	return nil
+}
+
+// pickLock chooses a deterministic representative from the held set.
+func pickLock(held framework.HeldLocks) (string, token.Pos) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0], held[keys[0]]
+}
+
+// inspectSkippingFuncLits visits every node of body except the interior
+// of function literals.
+func inspectSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package locksync_test
+
+import (
+	"testing"
+
+	"tendax/internal/analysis/analysistest"
+	"tendax/internal/analysis/locksync"
+)
+
+func TestLocksync(t *testing.T) {
+	analysistest.Run(t, locksync.Analyzer, "a")
+}

@@ -1,0 +1,92 @@
+// Package a recreates the PR 1 bug class for the locksync analyzer:
+// durability waits taken while a document-style mutex is held.
+package a
+
+import (
+	"os"
+	"sync"
+
+	"wal"
+)
+
+// DB stands in for core.Document: a hot mutex plus a handle on the log.
+type DB struct {
+	mu  sync.Mutex
+	log *wal.Log
+}
+
+// commitBad is the historical bug: the fsync wait happens before the lock
+// is released, serializing every other writer behind the disk.
+func (d *DB) commitBad(lsn wal.LSN) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log.WaitFlushed(lsn) // want `WaitFlushed can block on fsync while d\.mu is held`
+}
+
+// commitGood is the group-commit shape: release, then wait.
+func (d *DB) commitGood(lsn wal.LSN) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.log.WaitFlushed(lsn)
+}
+
+// withTxn blocks transitively — its body commits.
+func (d *DB) withTxn(fn func()) {
+	fn()
+	d.log.WaitFlushed(0)
+}
+
+// copyBad shows the transitive case: the wrapper flags just like a direct
+// WaitFlushed would.
+func (d *DB) copyBad() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.withTxn(func() {}) // want `withTxn can block on fsync \(via .*WaitFlushed\) while d\.mu is held`
+}
+
+// checkpointBad: a raw file sync under the lock is the same mistake.
+func (d *DB) checkpointBad(f *os.File) {
+	d.mu.Lock()
+	f.Sync() // want `Sync can block on fsync while d\.mu is held`
+	d.mu.Unlock()
+}
+
+// flushAsync is fine: the goroutine starts with no locks held.
+func (d *DB) flushAsync(f *os.File) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		f.Sync()
+	}()
+}
+
+// rollback is fenced: the abort-record flush is the sanctioned
+// exception for lock-holding callers.
+//
+//tendax:locksync-nonblocking
+func (d *DB) rollback() error {
+	return d.log.Flush()
+}
+
+// abortUnderLock relies on the fence: no finding.
+func (d *DB) abortUnderLock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rollback()
+}
+
+// annotated is suppressed with a reasoned allow directive.
+func (d *DB) annotated(lsn wal.LSN) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//tendax:allow-locksync recovery path, single-threaded before serving
+	d.log.WaitFlushed(lsn)
+}
+
+// annotatedBad: an allow directive without a reason is itself a finding.
+func (d *DB) annotatedBad(lsn wal.LSN) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//tendax:allow-locksync
+	d.log.WaitFlushed(lsn) // want `tendax:allow-locksync needs a reason`
+}

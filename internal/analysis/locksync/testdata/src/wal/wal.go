@@ -1,0 +1,24 @@
+// Package wal is a fixture stub of the real write-ahead log: just enough
+// surface for locksync to recognize its blocking roots.
+package wal
+
+import "sync"
+
+// LSN mirrors the real log sequence number.
+type LSN uint64
+
+// Store is the durable backing of the log.
+type Store interface {
+	Sync() error
+}
+
+// Log is the fixture write-ahead log.
+type Log struct {
+	mu sync.Mutex
+}
+
+// WaitFlushed blocks until lsn is durable.
+func (l *Log) WaitFlushed(lsn LSN) error { return nil }
+
+// Flush forces a synchronous flush.
+func (l *Log) Flush() error { return nil }

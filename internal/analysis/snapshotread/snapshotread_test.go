@@ -1,0 +1,12 @@
+package snapshotread_test
+
+import (
+	"testing"
+
+	"tendax/internal/analysis/analysistest"
+	"tendax/internal/analysis/snapshotread"
+)
+
+func TestSnapshotread(t *testing.T) {
+	analysistest.Run(t, snapshotread.Analyzer, "b")
+}

@@ -1,0 +1,55 @@
+// Package b recreates the PR 3 torn-read class for the snapshotread
+// analyzer: reads of the live tree that bypass the published snapshot.
+package b
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"texttree"
+)
+
+type published struct {
+	tree *texttree.Snapshot
+}
+
+// Document pairs a guarding mutex with a live buffer, like core.Document.
+type Document struct {
+	snap atomic.Pointer[published]
+	mu   sync.Mutex
+	buf  *texttree.Buffer
+}
+
+// Text resolves through the snapshot: the correct read path.
+func (d *Document) Text() string { return d.snap.Load().tree.Text() }
+
+// LenBad is the historical torn read: live tree, no lock.
+func (d *Document) LenBad() int {
+	return d.buf.Len() // want `live tree d\.buf read without holding d\.mu`
+}
+
+// LenHeld holds the guarding mutex: fine.
+func (d *Document) LenHeld() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.buf.Len()
+}
+
+// sizeLocked follows the *Locked convention: the caller holds d.mu.
+func (d *Document) sizeLocked() int { return d.buf.Len() }
+
+// Racy releases before reading — possibly-unlocked is flagged.
+func (d *Document) Racy() int {
+	d.mu.Lock()
+	d.mu.Unlock()
+	return d.buf.Len() // want `live tree d\.buf read without holding d\.mu`
+}
+
+// newDocument is a construction path: the allow directive documents why
+// the unlocked write is safe.
+func newDocument() *Document {
+	d := &Document{}
+	//tendax:allow-snapshotread construction; not yet shared
+	d.buf = &texttree.Buffer{}
+	return d
+}

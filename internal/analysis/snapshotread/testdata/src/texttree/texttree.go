@@ -1,0 +1,16 @@
+// Package texttree is a fixture stub: the live buffer and its immutable
+// snapshot, with just enough surface for snapshotread fixtures.
+package texttree
+
+// Buffer is the live, mutex-guarded tree.
+type Buffer struct{}
+
+func (b *Buffer) Len() int            { return 0 }
+func (b *Buffer) Text() string        { return "" }
+func (b *Buffer) Snapshot() *Snapshot { return &Snapshot{} }
+
+// Snapshot is the immutable published view.
+type Snapshot struct{}
+
+func (s *Snapshot) Len() int     { return 0 }
+func (s *Snapshot) Text() string { return "" }

@@ -1,0 +1,37 @@
+// Package awareness is a fixture stub: the event and wire-frame cache
+// surface the visclass analyzer keys on.
+package awareness
+
+import "sync"
+
+// Event is one bus event copy, redacted for a visibility class.
+type Event struct {
+	Seq      uint64
+	User     string
+	VisClass int
+	Wire     *WireCache
+}
+
+// WireCache memoises encoded frames per event copy.
+type WireCache struct {
+	mu     sync.Mutex
+	frames map[int][]byte
+}
+
+// Get returns the cached frame for key, building it on first use.
+func (c *WireCache) Get(key int, build func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.frames[key]; ok {
+		return f, nil
+	}
+	f, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if c.frames == nil {
+		c.frames = map[int][]byte{}
+	}
+	c.frames[key] = f
+	return f, nil
+}

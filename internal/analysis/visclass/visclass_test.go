@@ -1,0 +1,12 @@
+package visclass_test
+
+import (
+	"testing"
+
+	"tendax/internal/analysis/analysistest"
+	"tendax/internal/analysis/visclass"
+)
+
+func TestVisclass(t *testing.T) {
+	analysistest.Run(t, visclass.Analyzer, "c")
+}

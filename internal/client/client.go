@@ -109,7 +109,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	// WithMaxVersion(protocol.Version1) means "pin to v1" — no hello at
 	// all, since HelloVer's floor would negotiate v2.
 	if cfg.maxVersion >= protocol.Version2 {
-		if _, err := c.HelloVer(cfg.maxVersion); err != nil {
+		if _, err := c.helloVer(cfg.maxVersion); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -237,7 +237,7 @@ func (c *Client) call(req *protocol.Message) (*protocol.Message, error) {
 //
 // Deprecated: pass WithMaxVersion(protocol.VersionMax) to Dial instead;
 // Hello remains for connections that must negotiate after other traffic.
-func (c *Client) Hello() (int, error) { return c.HelloVer(protocol.VersionMax) }
+func (c *Client) Hello() (int, error) { return c.helloVer(protocol.VersionMax) }
 
 // HelloVer is Hello with a client-side ceiling: the connection is upgraded
 // to at most max, letting callers hold a connection at an older protocol
@@ -246,7 +246,12 @@ func (c *Client) Hello() (int, error) { return c.HelloVer(protocol.VersionMax) }
 // already-negotiated version rather than re-upgrading a pinned connection.
 //
 // Deprecated: pass WithMaxVersion(max) to Dial instead.
-func (c *Client) HelloVer(max int) (int, error) {
+func (c *Client) HelloVer(max int) (int, error) { return c.helloVer(max) }
+
+// helloVer negotiates the protocol upgrade; Dial drives it for the
+// WithMaxVersion option, and the deprecated Hello/HelloVer shims forward
+// here until their callers are gone.
+func (c *Client) helloVer(max int) (int, error) {
 	if max < protocol.Version2 {
 		max = protocol.Version2
 	}

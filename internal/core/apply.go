@@ -115,12 +115,12 @@ func (d *Document) ApplyAsync(user string, ops []EditOp) ([]EditResult, wal.LSN,
 	st.user = user
 	st.now = d.eng.clock.Now()
 	st.head = d.buf.Head()
-	if err := d.stageBatch(st, ops); err != nil {
+	if err := d.stageBatchLocked(st, ops); err != nil {
 		return nil, 0, err
 	}
 
 	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
-		return d.persistBatch(tx, st)
+		return d.persistBatchLocked(tx, st)
 	})
 	if err != nil {
 		return nil, 0, err
@@ -129,7 +129,7 @@ func (d *Document) ApplyAsync(user string, ops []EditOp) ([]EditResult, wal.LSN,
 	// Transaction committed: fold the batch into the buffer op by op,
 	// resolving the positional form of every item as the state evolves,
 	// then publish the whole batch as one awareness event.
-	results, items, err := d.applyStaged(st)
+	results, items, err := d.applyStagedLocked(st)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -239,9 +239,9 @@ type stagedOp struct {
 	n       int
 }
 
-// char resolves an instance against the staged state first, then the hot
-// buffer.
-func (st *batchState) char(d *Document, id util.ID) (*texttree.Char, bool) {
+// charLocked resolves an instance against the staged state first, then
+// the hot buffer; d.mu is held by the batch pipeline.
+func (st *batchState) charLocked(d *Document, id util.ID) (*texttree.Char, bool) {
 	if ch, ok := st.createdSet[id]; ok {
 		return ch, true
 	}
@@ -251,20 +251,22 @@ func (st *batchState) char(d *Document, id util.ID) (*texttree.Char, bool) {
 	return d.buf.Char(id)
 }
 
-// succ returns the staged chain successor of prev (NilID = staged head).
-func (st *batchState) succ(d *Document, prev util.ID) util.ID {
+// succLocked returns the staged chain successor of prev (NilID = staged
+// head); d.mu is held by the batch pipeline.
+func (st *batchState) succLocked(d *Document, prev util.ID) util.ID {
 	if prev.IsNil() {
 		return st.head
 	}
-	if ch, ok := st.char(d, prev); ok {
+	if ch, ok := st.charLocked(d, prev); ok {
 		return ch.Next
 	}
 	return util.NilID
 }
 
-// setLink replaces the staged record of an instance, copying a hot record
-// on first touch so published snapshots keep their frozen state.
-func (st *batchState) setLink(d *Document, id util.ID, mut func(*texttree.Char)) error {
+// setLinkLocked replaces the staged record of an instance, copying a hot
+// record on first touch so published snapshots keep their frozen state;
+// d.mu is held by the batch pipeline.
+func (st *batchState) setLinkLocked(d *Document, id util.ID, mut func(*texttree.Char)) error {
 	if ch, ok := st.createdSet[id]; ok {
 		mut(ch)
 		return nil
@@ -283,10 +285,10 @@ func (st *batchState) setLink(d *Document, id util.ID, mut func(*texttree.Char))
 	return nil
 }
 
-// stageBatch resolves every op of the batch in order against the evolving
+// stageBatchLocked resolves every op of the batch in order against the evolving
 // staged state, filling the (pooled, pre-reset) st. It never touches the
 // buffer or the database: on error the document is exactly as before.
-func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
+func (d *Document) stageBatchLocked(st *batchState, ops []EditOp) error {
 	user, now := st.user, st.now
 	lastInsert := util.NilID    // last instance created by an earlier insert op
 	var lastInsertIDs []util.ID // all instances of that insert
@@ -294,7 +296,7 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 	for i, op := range ops {
 		switch op.Kind {
 		case EditInsert:
-			prev, err := d.resolveInsertAnchor(st, op, lastInsert)
+			prev, err := d.resolveInsertAnchorLocked(st, op, lastInsert)
 			if err != nil {
 				return fmt.Errorf("core: batch op %d: %w", i, err)
 			}
@@ -302,7 +304,7 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 			if len(runes) == 0 {
 				return fmt.Errorf("core: batch op %d: empty insert", i)
 			}
-			succ := st.succ(d, prev)
+			succ := st.succLocked(d, prev)
 			ids := make([]util.ID, len(runes))
 			for j := range runes {
 				ids[j] = d.eng.ids.Next()
@@ -333,11 +335,11 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 			}
 			if prev.IsNil() {
 				st.head = ids[0]
-			} else if err := st.setLink(d, prev, func(c *texttree.Char) { c.Next = ids[0] }); err != nil {
+			} else if err := st.setLinkLocked(d, prev, func(c *texttree.Char) { c.Next = ids[0] }); err != nil {
 				return fmt.Errorf("core: batch op %d: %w", i, err)
 			}
 			if !succ.IsNil() {
-				if err := st.setLink(d, succ, func(c *texttree.Char) { c.Prev = ids[len(ids)-1] }); err != nil {
+				if err := st.setLinkLocked(d, succ, func(c *texttree.Char) { c.Prev = ids[len(ids)-1] }); err != nil {
 					return fmt.Errorf("core: batch op %d: %w", i, err)
 				}
 			}
@@ -362,7 +364,7 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 			}
 			var affected []util.ID
 			for _, id := range targets {
-				ch, ok := st.char(d, id)
+				ch, ok := st.charLocked(d, id)
 				if !ok {
 					// Compaction may have archived the tombstone since the
 					// client saw it — archived instances are deleted by
@@ -379,7 +381,7 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 				if ch.Deleted {
 					continue // deletion by identity commutes
 				}
-				if err := st.setLink(d, id, func(c *texttree.Char) {
+				if err := st.setLinkLocked(d, id, func(c *texttree.Char) {
 					c.Deleted = true
 					c.DeletedBy = user
 					c.DeletedAt = now
@@ -415,7 +417,7 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 				}
 			}
 			for _, id := range ids {
-				if _, ok := st.char(d, id); !ok {
+				if _, ok := st.charLocked(d, id); !ok {
 					return fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, id)
 				}
 			}
@@ -435,7 +437,7 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 			switch {
 			case op.UseAnchor:
 				anchor = op.Anchor
-				if _, ok := st.char(d, anchor); !ok {
+				if _, ok := st.charLocked(d, anchor); !ok {
 					return fmt.Errorf("core: batch op %d: %w: %v", i, texttree.ErrUnknownChar, anchor)
 				}
 			case op.AnchorPrev:
@@ -469,9 +471,9 @@ func (d *Document) stageBatch(st *batchState, ops []EditOp) error {
 	return nil
 }
 
-// resolveInsertAnchor turns an insert op's anchor into the chain
+// resolveInsertAnchorLocked turns an insert op's anchor into the chain
 // predecessor the new text follows.
-func (d *Document) resolveInsertAnchor(st *batchState, op EditOp, lastInsert util.ID) (util.ID, error) {
+func (d *Document) resolveInsertAnchorLocked(st *batchState, op EditOp, lastInsert util.ID) (util.ID, error) {
 	switch {
 	case op.AnchorPrev:
 		if lastInsert.IsNil() {
@@ -482,7 +484,7 @@ func (d *Document) resolveInsertAnchor(st *batchState, op EditOp, lastInsert uti
 		if op.Anchor.IsNil() {
 			return util.NilID, nil // front of document
 		}
-		if _, ok := st.char(d, op.Anchor); ok {
+		if _, ok := st.charLocked(d, op.Anchor); ok {
 			return op.Anchor, nil
 		}
 		// The anchor may have been archived by compaction since the client
@@ -506,12 +508,12 @@ func (d *Document) resolveInsertAnchor(st *batchState, op EditOp, lastInsert uti
 	}
 }
 
-// persistBatch writes the staged batch inside one transaction: every new
+// persistBatchLocked writes the staged batch inside one transaction: every new
 // character row in one batch insert (final link state, so each row is
 // written exactly once even when a later op of the same batch rewired
 // it), link/tombstone rewrites of pre-existing rows, span rows, one log
 // row per op, and the document-row refresh.
-func (d *Document) persistBatch(tx *txn.Txn, st *batchState) error {
+func (d *Document) persistBatchLocked(tx *txn.Txn, st *batchState) error {
 	if len(st.created) > 0 {
 		rows := make([]db.Row, len(st.created))
 		for i, ch := range st.created {
@@ -539,10 +541,10 @@ func (d *Document) persistBatch(tx *txn.Txn, st *batchState) error {
 	return d.updateDocRowLocked(tx, st.user, st.now, d.buf.Len()+st.sizeDelta)
 }
 
-// applyStaged folds the committed batch into the buffer op by op and
+// applyStagedLocked folds the committed batch into the buffer op by op and
 // returns the per-op results plus the positional batch items for the
 // awareness push. Caller holds d.mu; the transaction has committed.
-func (d *Document) applyStaged(st *batchState) ([]EditResult, []awareness.BatchItem, error) {
+func (d *Document) applyStagedLocked(st *batchState) ([]EditResult, []awareness.BatchItem, error) {
 	results := make([]EditResult, 0, len(st.ops))
 	var items []awareness.BatchItem
 	for _, sop := range st.ops {

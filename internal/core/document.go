@@ -68,6 +68,7 @@ func newDocument(e *Engine, id util.ID, name, creator string, created time.Time,
 	if creator != "" {
 		d.authors[creator] = true
 	}
+	//tendax:allow-snapshotread construction: the document is not yet shared
 	d.snap.Store(&published{tree: d.buf.Snapshot(), seq: e.bus.Seq(id)})
 	return d
 }
@@ -126,6 +127,7 @@ func (d *Document) load() error {
 	if len(archRids) > 0 {
 		d.archState.Store(archPending)
 	}
+	//tendax:allow-snapshotread load-time construction: the document is published only after load returns
 	d.buf = buf
 	d.snap.Store(&published{tree: buf.Snapshot(), seq: d.eng.bus.Seq(d.id)})
 	for _, a := range buf.Authors() {
@@ -242,24 +244,37 @@ func (d *Document) Copy(user string, pos, n int) (Clipboard, error) {
 	if err := d.eng.allowed(user, d.id, RRead); err != nil {
 		return Clipboard{}, err
 	}
+	clip, lsn, err := d.copyAsync(user, pos, n)
+	if err != nil {
+		return Clipboard{}, err
+	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return Clipboard{}, err
+	}
+	return clip, nil
+}
+
+// copyAsync does Copy's locked work with an asynchronous commit; the
+// durability wait is the caller's, outside d.mu (group-commit rule).
+func (d *Document) copyAsync(user string, pos, n int) (Clipboard, wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	ids := d.buf.RangeIDs(pos, n)
 	if len(ids) != n {
-		return Clipboard{}, fmt.Errorf("%w: copy [%d,%d) of %d chars", ErrRange, pos, pos+n, d.buf.Len())
+		return Clipboard{}, 0, fmt.Errorf("%w: copy [%d,%d) of %d chars", ErrRange, pos, pos+n, d.buf.Len())
 	}
 	clip := Clipboard{Text: d.buf.Slice(pos, n), SrcDoc: d.id, SrcChars: ids}
 	opID := d.eng.ids.Next()
 	now := d.eng.clock.Now()
-	err := d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		return d.writeOpRow(tx, &opRecord{ID: opID, User: user, Kind: "copy",
 			CharIDs: ids, Created: now})
 	})
 	if err != nil {
-		return Clipboard{}, err
+		return Clipboard{}, 0, err
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "copy", CharIDs: ids, Created: now})
-	return clip, nil
+	return clip, lsn, nil
 }
 
 // Paste inserts clipboard content at pos, recording per-character
@@ -480,10 +495,20 @@ func (d *Document) SetState(user, state string) error {
 	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
 		return err
 	}
+	lsn, err := d.setStateAsync(user, state)
+	if err != nil {
+		return err
+	}
+	return d.eng.WaitDurable(lsn)
+}
+
+// setStateAsync does SetState's locked work with an asynchronous commit;
+// the durability wait is the caller's, outside d.mu (group-commit rule).
+func (d *Document) setStateAsync(user, state string) (wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := d.eng.clock.Now()
-	err := d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		row, _, err := d.eng.tDocs.GetByPK(tx, int64(d.id))
 		if err != nil {
 			return err
@@ -493,7 +518,7 @@ func (d *Document) SetState(user, state string) error {
 		return d.eng.tDocs.UpdateByPK(tx, int64(d.id), row)
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	d.state = state
 	d.modified = now
@@ -504,7 +529,7 @@ func (d *Document) SetState(user, state string) error {
 	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvWorkflow, User: user, Name: state, At: now,
 	})
-	return nil
+	return lsn, nil
 }
 
 // SetProperty stores a user-defined document property (paper §2:

@@ -9,6 +9,7 @@ import (
 	"tendax/internal/db"
 	"tendax/internal/txn"
 	"tendax/internal/util"
+	"tendax/internal/wal"
 )
 
 // Span is a layout, structure or note annotation anchored to character
@@ -45,18 +46,32 @@ func (d *Document) ApplyLayout(user string, pos, n int, kind, value string) (uti
 	if n <= 0 {
 		return util.NilID, fmt.Errorf("core: layout over %d chars", n)
 	}
+	spanID, lsn, err := d.applyLayoutAsync(user, pos, n, kind, value)
+	if err != nil {
+		return util.NilID, err
+	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return util.NilID, err
+	}
+	return spanID, nil
+}
+
+// applyLayoutAsync does ApplyLayout's locked work with an asynchronous
+// commit; the durability wait is the caller's, outside d.mu (group-commit
+// rule).
+func (d *Document) applyLayoutAsync(user string, pos, n int, kind, value string) (util.ID, wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	ids := d.buf.RangeIDs(pos, n)
 	if len(ids) != n {
-		return util.NilID, fmt.Errorf("%w: layout [%d,%d) of %d", ErrRange, pos, pos+n, d.buf.Len())
+		return util.NilID, 0, fmt.Errorf("%w: layout [%d,%d) of %d", ErrRange, pos, pos+n, d.buf.Len())
 	}
 	spanID := d.eng.ids.Next()
 	opID := d.eng.ids.Next()
 	now := d.eng.clock.Now()
 	start, end := ids[0], ids[len(ids)-1]
 
-	err := d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		if _, err := d.eng.tSpans.Insert(tx, db.Row{
 			int64(spanID), int64(d.id), kind, value, int64(start), int64(end),
 			user, now, false,
@@ -71,7 +86,7 @@ func (d *Document) ApplyLayout(user string, pos, n int, kind, value string) (uti
 		return d.updateDocRowLocked(tx, user, now, d.buf.Len())
 	})
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout", Ref: spanID, Created: now})
 	d.noteAuthorLocked(user, now)
@@ -79,7 +94,7 @@ func (d *Document) ApplyLayout(user string, pos, n int, kind, value string) (uti
 		Doc: d.id, Kind: awareness.EvLayout, User: user, OpID: opID,
 		Pos: pos, N: n, Name: kind + "=" + value, At: now,
 	})
-	return spanID, nil
+	return spanID, lsn, nil
 }
 
 // SetHeading marks [pos, pos+n) as a heading of the given level (structure
@@ -93,16 +108,30 @@ func (d *Document) InsertNote(user string, pos int, text string) (util.ID, error
 	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
 		return util.NilID, err
 	}
+	spanID, lsn, err := d.insertNoteAsync(user, pos, text)
+	if err != nil {
+		return util.NilID, err
+	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return util.NilID, err
+	}
+	return spanID, nil
+}
+
+// insertNoteAsync does InsertNote's locked work with an asynchronous
+// commit; the durability wait is the caller's, outside d.mu (group-commit
+// rule).
+func (d *Document) insertNoteAsync(user string, pos int, text string) (util.ID, wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	anchor, ok := d.buf.IDAt(pos)
 	if !ok {
-		return util.NilID, fmt.Errorf("%w: note at %d of %d", ErrRange, pos, d.buf.Len())
+		return util.NilID, 0, fmt.Errorf("%w: note at %d of %d", ErrRange, pos, d.buf.Len())
 	}
 	spanID := d.eng.ids.Next()
 	opID := d.eng.ids.Next()
 	now := d.eng.clock.Now()
-	err := d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		if _, err := d.eng.tSpans.Insert(tx, db.Row{
 			int64(spanID), int64(d.id), SpanNote, text, int64(anchor), int64(anchor),
 			user, now, false,
@@ -117,7 +146,7 @@ func (d *Document) InsertNote(user string, pos int, text string) (util.ID, error
 		return d.updateDocRowLocked(tx, user, now, d.buf.Len())
 	})
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout", Ref: spanID, Created: now})
 	d.noteAuthorLocked(user, now)
@@ -125,7 +154,7 @@ func (d *Document) InsertNote(user string, pos int, text string) (util.ID, error
 		Doc: d.id, Kind: awareness.EvNote, User: user, OpID: opID,
 		Pos: pos, Text: text, At: now,
 	})
-	return spanID, nil
+	return spanID, lsn, nil
 }
 
 // RemoveSpan retracts a span (layout removal), as one transaction.
@@ -133,11 +162,22 @@ func (d *Document) RemoveSpan(user string, spanID util.ID) error {
 	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
 		return err
 	}
+	lsn, err := d.removeSpanAsync(user, spanID)
+	if err != nil {
+		return err
+	}
+	return d.eng.WaitDurable(lsn)
+}
+
+// removeSpanAsync does RemoveSpan's locked work with an asynchronous
+// commit; the durability wait is the caller's, outside d.mu (group-commit
+// rule).
+func (d *Document) removeSpanAsync(user string, spanID util.ID) (wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	opID := d.eng.ids.Next()
 	now := d.eng.clock.Now()
-	err := d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		row, _, err := d.eng.tSpans.GetByPK(tx, int64(spanID))
 		if err != nil {
 			return err
@@ -157,7 +197,7 @@ func (d *Document) RemoveSpan(user string, spanID util.ID) error {
 		return d.updateDocRowLocked(tx, user, now, d.buf.Len())
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	d.ops = append(d.ops, opRecord{ID: opID, User: user, Kind: "layout-remove", Ref: spanID, Created: now})
 	d.noteAuthorLocked(user, now)
@@ -165,7 +205,7 @@ func (d *Document) RemoveSpan(user string, spanID util.ID) error {
 		Doc: d.id, Kind: awareness.EvLayout, User: user, OpID: opID,
 		Name: "remove", At: now,
 	})
-	return nil
+	return lsn, nil
 }
 
 // Spans returns the document's active (non-removed) spans, oldest first.

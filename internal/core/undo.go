@@ -10,6 +10,7 @@ import (
 	"tendax/internal/texttree"
 	"tendax/internal/txn"
 	"tendax/internal/util"
+	"tendax/internal/wal"
 )
 
 // ErrNothingToUndo reports an empty undo (or redo) history for the scope.
@@ -217,6 +218,19 @@ func (d *Document) undo(user string, local bool) (util.ID, error) {
 	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
 		return util.NilID, err
 	}
+	undoID, lsn, err := d.undoAsync(user, local)
+	if err != nil {
+		return util.NilID, err
+	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return util.NilID, err
+	}
+	return undoID, nil
+}
+
+// undoAsync does undo's locked work with an asynchronous commit; the
+// durability wait is the caller's, outside d.mu (group-commit rule).
+func (d *Document) undoAsync(user string, local bool) (util.ID, wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
@@ -233,16 +247,16 @@ func (d *Document) undo(user string, local bool) (util.ID, error) {
 		break
 	}
 	if target == nil {
-		return util.NilID, ErrNothingToUndo
+		return util.NilID, 0, ErrNothingToUndo
 	}
 	now := d.eng.clock.Now()
 	undoID := d.eng.ids.Next()
 
 	plan, err := d.inversePlan(target, user, now)
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
-	err = d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		if err := plan.persist(tx); err != nil {
 			return err
 		}
@@ -257,7 +271,7 @@ func (d *Document) undo(user string, local bool) (util.ID, error) {
 		return d.updateDocRowLocked(tx, user, now, d.buf.Len()+plan.sizeDelta)
 	})
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
 	plan.apply()
 	target.Undone = true
@@ -268,13 +282,26 @@ func (d *Document) undo(user string, local bool) (util.ID, error) {
 		Doc: d.id, Kind: awareness.EvUndo, User: user, OpID: undoID,
 		Name: target.Kind, N: len(target.CharIDs), At: now,
 	})
-	return undoID, nil
+	return undoID, lsn, nil
 }
 
 func (d *Document) redo(user string, local bool) (util.ID, error) {
 	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
 		return util.NilID, err
 	}
+	redoID, lsn, err := d.redoAsync(user, local)
+	if err != nil {
+		return util.NilID, err
+	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return util.NilID, err
+	}
+	return redoID, nil
+}
+
+// redoAsync does redo's locked work with an asynchronous commit; the
+// durability wait is the caller's, outside d.mu (group-commit rule).
+func (d *Document) redoAsync(user string, local bool) (util.ID, wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
@@ -292,7 +319,7 @@ func (d *Document) redo(user string, local bool) (util.ID, error) {
 		break
 	}
 	if undoOp == nil {
-		return util.NilID, ErrNothingToRedo
+		return util.NilID, 0, ErrNothingToRedo
 	}
 	var target *opRecord
 	for i := range d.ops {
@@ -302,7 +329,7 @@ func (d *Document) redo(user string, local bool) (util.ID, error) {
 		}
 	}
 	if target == nil {
-		return util.NilID, ErrNothingToRedo
+		return util.NilID, 0, ErrNothingToRedo
 	}
 	now := d.eng.clock.Now()
 	redoID := d.eng.ids.Next()
@@ -312,9 +339,9 @@ func (d *Document) redo(user string, local bool) (util.ID, error) {
 	// operations stay hidden.
 	plan, err := d.reapplyPlan(target, undoOp.CharIDs, user, now)
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
-	err = d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		if err := plan.persist(tx); err != nil {
 			return err
 		}
@@ -332,7 +359,7 @@ func (d *Document) redo(user string, local bool) (util.ID, error) {
 		return d.updateDocRowLocked(tx, user, now, d.buf.Len()+plan.sizeDelta)
 	})
 	if err != nil {
-		return util.NilID, err
+		return util.NilID, 0, err
 	}
 	plan.apply()
 	target.Undone = false
@@ -344,7 +371,7 @@ func (d *Document) redo(user string, local bool) (util.ID, error) {
 		Doc: d.id, Kind: awareness.EvRedo, User: user, OpID: redoID,
 		Name: target.Kind, N: len(target.CharIDs), At: now,
 	})
-	return redoID, nil
+	return redoID, lsn, nil
 }
 
 // undoPlan captures the row updates and buffer mutations of an undo/redo,
@@ -364,9 +391,9 @@ type undoPlan struct {
 func (d *Document) inversePlan(op *opRecord, user string, now time.Time) (*undoPlan, error) {
 	switch op.Kind {
 	case "insert", "paste", "note":
-		return d.visibilityPlan(op.CharIDs, false, user, now)
+		return d.visibilityPlanLocked(op.CharIDs, false, user, now)
 	case "delete":
-		return d.visibilityPlan(op.CharIDs, true, user, now)
+		return d.visibilityPlanLocked(op.CharIDs, true, user, now)
 	case "layout":
 		return d.spanRemovedPlan(op.Ref, true)
 	case "layout-remove":
@@ -380,9 +407,9 @@ func (d *Document) inversePlan(op *opRecord, user string, now time.Time) (*undoP
 func (d *Document) reapplyPlan(op *opRecord, ids []util.ID, user string, now time.Time) (*undoPlan, error) {
 	switch op.Kind {
 	case "insert", "paste", "note":
-		return d.visibilityPlan(ids, true, user, now)
+		return d.visibilityPlanLocked(ids, true, user, now)
 	case "delete":
-		return d.visibilityPlan(ids, false, user, now)
+		return d.visibilityPlanLocked(ids, false, user, now)
 	case "layout":
 		return d.spanRemovedPlan(op.Ref, false)
 	case "layout-remove":
@@ -391,14 +418,14 @@ func (d *Document) reapplyPlan(op *opRecord, ids []util.ID, user string, now tim
 	return nil, ErrNothingToRedo
 }
 
-// visibilityPlan makes the given characters visible or hidden. Characters
+// visibilityPlanLocked (d.mu held) makes the given characters visible or hidden. Characters
 // already in the desired state (e.g. re-deleted by another user since) are
 // skipped — selective undo over tombstones commutes per character. An
 // undelete of a character whose tombstone was archived by compaction first
 // rehydrates it: the instance re-enters the chars table and the hot chain
 // at its anchor, its run splits around it, and only then does visibility
 // flip — all inside the one undo transaction.
-func (d *Document) visibilityPlan(ids []util.ID, visible bool, user string, now time.Time) (*undoPlan, error) {
+func (d *Document) visibilityPlanLocked(ids []util.ID, visible bool, user string, now time.Time) (*undoPlan, error) {
 	var affected []util.ID // hot instances whose visibility flips
 	var archived []util.ID // archived tombstones to rehydrate, then flip
 	// Undo may reach archived tombstones; the lazily parked archive must

@@ -9,6 +9,7 @@ import (
 	"tendax/internal/db"
 	"tendax/internal/txn"
 	"tendax/internal/util"
+	"tendax/internal/wal"
 )
 
 // Version is a named point-in-time snapshot of a document. Because deletion
@@ -29,24 +30,38 @@ func (d *Document) CreateVersion(user, name string) (Version, error) {
 	if err := d.eng.allowed(user, d.id, RWrite); err != nil {
 		return Version{}, err
 	}
+	v, lsn, err := d.createVersionAsync(user, name)
+	if err != nil {
+		return Version{}, err
+	}
+	if err := d.eng.WaitDurable(lsn); err != nil {
+		return Version{}, err
+	}
+	return v, nil
+}
+
+// createVersionAsync does CreateVersion's locked work with an
+// asynchronous commit; the durability wait is the caller's, outside d.mu
+// (group-commit rule).
+func (d *Document) createVersionAsync(user, name string) (Version, wal.LSN, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	id := d.eng.ids.Next()
 	now := d.eng.clock.Now()
-	err := d.eng.withTxn(func(tx *txn.Txn) error {
+	lsn, err := d.eng.withTxnAsync(func(tx *txn.Txn) error {
 		_, err := d.eng.tVersions.Insert(tx, db.Row{
 			int64(id), int64(d.id), name, user, now,
 		})
 		return err
 	})
 	if err != nil {
-		return Version{}, err
+		return Version{}, 0, err
 	}
 	v := Version{ID: id, Name: name, Author: user, At: now}
 	d.publishEventLocked(awareness.Event{
 		Doc: d.id, Kind: awareness.EvVersion, User: user, Name: name, At: now,
 	})
-	return v, nil
+	return v, lsn, nil
 }
 
 // Versions lists the document's versions, oldest first.

@@ -306,6 +306,7 @@ func (d *Database) CreateTable(name string, schema Schema, indexCols ...string) 
 		_ = tx.Abort()
 		return nil, err
 	}
+	//tendax:allow-locksync cold path: table creation is schema DDL, done at open; db.mu must cover catalog row and table map atomically
 	if err := tx.Commit(); err != nil {
 		return nil, err
 	}
@@ -333,6 +334,7 @@ func (d *Database) CreateTable(name string, schema Schema, indexCols ...string) 
 func (d *Database) Checkpoint() error {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	//tendax:allow-locksync ckptMu serializes checkpoints only; no commit or read path takes it, and flushing under it is the checkpoint's job
 	if err := d.log.Flush(); err != nil {
 		return err
 	}
@@ -340,6 +342,7 @@ func (d *Database) Checkpoint() error {
 		return err
 	}
 	if d.tm.ActiveCount() == 0 {
+		//tendax:allow-locksync ckptMu serializes checkpoints only; compaction is the quiescent checkpoint's final step
 		return d.log.Compact()
 	}
 	return nil
@@ -361,6 +364,7 @@ func (d *Database) FuzzyCheckpoint() (*wal.CheckpointResult, error) {
 	if err := d.pool.FlushBelow(uint64(d.log.NextLSN())); err != nil {
 		return nil, err
 	}
+	//tendax:allow-locksync ckptMu serializes checkpoints only; writers keep committing while the fuzzy checkpoint flushes under it
 	res, err := d.log.FuzzyCheckpoint(func() ([]storage.DirtyPage, error) {
 		dpt := d.pool.DirtyPages()
 		// Eviction write-backs clear a page's recLSN without syncing the

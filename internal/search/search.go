@@ -374,6 +374,10 @@ func firstN(s string, n int) string {
 
 // Freshness of metadata used by rankers decays as documents change; call
 // RefreshStats to recompute citation and read counts.
+//
+// Deprecated: the incremental query subsystem (index.Open) keeps these
+// statistics fresh from the op stream; RefreshStats re-walks the whole
+// store and remains only for embedded users of the static index.
 func (ix *Index) RefreshStats() error {
 	g, err := lineage.Build(ix.eng)
 	if err != nil {

@@ -124,6 +124,7 @@ func (d *FileDisk) Sync() error {
 	if d.closed {
 		return ErrClosed
 	}
+	//tendax:allow-locksync the page store owns its barrier: mu guards the fd and page count, and Sync must exclude concurrent WriteBack
 	return d.f.Sync()
 }
 

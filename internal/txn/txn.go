@@ -114,7 +114,12 @@ func (t *Txn) Commit() error {
 }
 
 // Abort rolls back every operation of the transaction (newest first), logs
-// the abort, and releases its locks.
+// the abort, and releases its locks. The abort-record flush is the
+// sanctioned exception to the group-commit rule: rollbacks are the rare
+// failure path, and the undo must be durable before the row locks are
+// released, even when the caller still holds a document lock.
+//
+//tendax:locksync-nonblocking
 func (t *Txn) Abort() error {
 	if t.state != Active {
 		return ErrNotActive
